@@ -1,0 +1,104 @@
+"""Shared machinery for the figure/table benchmarks.
+
+Every benchmark module reproduces one table or figure of the paper's
+Section 8.  The common pattern:
+
+1. build (and cache) a Section 8.1 workload for the figure's parameters;
+2. run each competing algorithm over it via ``run_workload``;
+3. register the run with pytest-benchmark (so ``--benchmark-only``
+   produces the head-to-head table), and
+4. emit the figure's series (avgcost(t), maxupdcost(t), or average
+   workload cost per x-value) into ``benchmarks/results/<name>.txt``,
+   mirroring the rows/curves the paper plots.
+
+Workload sizes default to the scaled-down values in
+``repro.workload.config`` and honour ``REPRO_BENCH_N``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.workload.metrics import avgcost_series, checkpoints, maxupdcost_series
+from repro.workload.runner import RunResult, run_workload
+from repro.workload.workload import Workload, generate_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_workload_cache: Dict[tuple, Workload] = {}
+
+
+def cached_workload(
+    n_updates: int,
+    dim: int,
+    insert_fraction: float = 1.0,
+    query_frequency: Optional[int] = None,
+    seed: int = 42,
+) -> Workload:
+    """One workload per parameter combination, shared across algorithms."""
+    key = (n_updates, dim, round(insert_fraction, 6), query_frequency, seed)
+    if key not in _workload_cache:
+        _workload_cache[key] = generate_workload(
+            n_updates,
+            dim,
+            insert_fraction=insert_fraction,
+            query_frequency=query_frequency,
+            seed=seed,
+        )
+    return _workload_cache[key]
+
+
+def execute(
+    benchmark, factory: Callable[[], object], workload: Workload
+) -> RunResult:
+    """Run the workload once under pytest-benchmark and return the result."""
+    holder: List[RunResult] = []
+
+    def once():
+        holder.clear()
+        holder.append(run_workload(factory(), workload))
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    result = holder[0]
+    benchmark.extra_info["avg_cost_us"] = round(result.average_cost, 2)
+    benchmark.extra_info["max_update_cost_us"] = round(result.max_update_cost, 2)
+    queries = result.query_costs()
+    if queries:
+        benchmark.extra_info["avg_query_cost_us"] = round(statistics.mean(queries), 2)
+    return result
+
+
+def series_lines(name: str, result: RunResult, marks_count: int = 10) -> List[str]:
+    """avgcost(t) and maxupdcost(t) rows for one algorithm run."""
+    marks = checkpoints(len(result.op_costs), marks_count)
+    avg = avgcost_series(result.op_costs, marks)
+    mx = maxupdcost_series(result.op_kinds, result.op_costs, marks)
+    lines = [f"# {name}"]
+    lines.append("t\tavgcost_us\tmaxupdcost_us")
+    for (t, a), (_, m) in zip(avg, mx):
+        lines.append(f"{t}\t{a:.2f}\t{m:.2f}")
+    return lines
+
+
+def write_results(filename: str, header: str, blocks: List[List[str]]) -> Path:
+    """Write one figure's series blocks to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    content = [f"# {header}"]
+    for block in blocks:
+        content.append("")
+        content.extend(block)
+    path.write_text("\n".join(content) + "\n")
+    return path
+
+
+def summarize_average(
+    rows: List[Tuple[str, float, float]]
+) -> List[str]:
+    """'x  algo  avg-cost' rows for the cost-vs-parameter figures."""
+    lines = ["x\talgorithm\tavg_workload_cost_us"]
+    for x, name, cost in rows:  # type: ignore[misc]
+        lines.append(f"{x}\t{name}\t{cost:.2f}")
+    return lines

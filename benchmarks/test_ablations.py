@@ -1,0 +1,105 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. **CC structure**: HDT dynamic connectivity vs naive BFS recomputation
+   inside the fully-dynamic clusterer.  HDT pays more per edge update but
+   never pays O(V + E) per query-after-delete; on query-heavy workloads
+   the naive structure collapses.
+2. **aBCP protocol**: Lemma 3's amortized de-listing vs rescanning the
+   smaller cell side on every witness loss.
+3. **Neighbor discovery**: precomputed offset tables vs scanning the cell
+   registry, across dimensions (the (2 sqrt(d))^d blow-up).
+
+Rows go to benchmarks/results/ablations.txt.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.core.grid import Grid
+from repro.workload.config import MINPTS, RHO, SLOW_BENCH_N, bench_n, eps_for
+from repro.workload.seed_spreader import seed_spreader
+
+from figlib import cached_workload, execute, write_results
+
+N = bench_n(SLOW_BENCH_N)
+DIM = 2
+EPS = eps_for(DIM)
+QFREQ = max(1, N // 10)
+
+_rows = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_series():
+    yield
+    if _rows:
+        write_results(
+            "ablations.txt",
+            f"Ablations: N={N}, d={DIM}, eps={EPS}, MinPts={MINPTS}, rho={RHO}",
+            [["ablation\tvariant\tavg_cost_us"]
+             + [f"{a}\t{v}\t{c:.2f}" for a, v, c in _rows]],
+        )
+
+
+@pytest.mark.parametrize("connectivity", ["hdt", "naive"])
+def test_ablation_cc_structure(benchmark, connectivity):
+    workload = cached_workload(
+        N, DIM, insert_fraction=5 / 6, query_frequency=QFREQ
+    )
+    result = execute(
+        benchmark,
+        lambda: FullyDynamicClusterer(
+            EPS, MINPTS, rho=RHO, dim=DIM, connectivity=connectivity
+        ),
+        workload,
+    )
+    _rows.append(("cc-structure", connectivity, result.average_cost))
+
+
+@pytest.mark.parametrize("bcp", ["abcp", "rescan", "suffix"])
+def test_ablation_bcp_protocol(benchmark, bcp):
+    workload = cached_workload(N, DIM, insert_fraction=5 / 6, query_frequency=QFREQ)
+    result = execute(
+        benchmark,
+        lambda: FullyDynamicClusterer(EPS, MINPTS, rho=RHO, dim=DIM, bcp=bcp),
+        workload,
+    )
+    _rows.append(("bcp-protocol", bcp, result.average_cost))
+
+
+@pytest.mark.parametrize("dim", [2, 3, 5])
+@pytest.mark.parametrize("strategy", ["offsets", "scan"])
+def test_ablation_neighbor_discovery(benchmark, dim, strategy):
+    """Time neighbor discovery over the cells of a seed-spreader dataset."""
+    pts = seed_spreader(2000, dim, seed=dim)
+    grid = Grid(eps_for(dim), dim, rho=RHO, strategy=strategy)
+    registry = {}
+    for p in pts:
+        registry[grid.cell_of(p)] = True
+    cells = list(registry)
+
+    def run():
+        start = time.perf_counter()
+        total = 0
+        for cell in cells:
+            total += len(grid.neighbors_of(cell, registry))
+        return total, time.perf_counter() - start
+
+    total, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["neighbor_links"] = total
+    benchmark.extra_info["cells"] = len(cells)
+    _rows.append(
+        (f"neighbors d={dim}", strategy, elapsed * 1e6 / max(1, len(cells)))
+    )
+    # Both strategies must find the same adjacency.
+    reference = Grid(eps_for(dim), dim, rho=RHO, strategy="scan")
+    sample = random.Random(0).sample(cells, min(20, len(cells)))
+    for cell in sample:
+        assert set(grid.neighbors_of(cell, registry)) == set(
+            reference.neighbors_of(cell, registry)
+        )

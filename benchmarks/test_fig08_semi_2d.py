@@ -1,0 +1,56 @@
+"""Figure 8 — semi-dynamic algorithms in 2D.
+
+Paper: insert-only workload, d = 2, eps = 100d, MinPts = 10, rho = 0.001,
+query every 0.05N updates.  Plots avgcost(t) (Fig 8a) and maxupdcost(t)
+(Fig 8b) for IncDBSCAN, 2d-Semi-Exact, and Semi-Approx.
+
+Expected shape (paper): both of our algorithms are orders of magnitude
+below IncDBSCAN on avgcost, stay flat over time while IncDBSCAN's curve
+rises, and all methods have comparable maxupdcost in the semi-dynamic
+setting.
+
+Series are written to benchmarks/results/fig08_semi_2d.txt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.core.semidynamic import SemiDynamicClusterer
+from repro.workload.config import MINPTS, RHO, bench_n, eps_for
+
+from figlib import cached_workload, execute, series_lines, write_results
+
+DIM = 2
+N = bench_n()
+EPS = eps_for(DIM)
+QFREQ = max(1, N // 20)
+
+ALGORITHMS = {
+    "2d-Semi-Exact": lambda: SemiDynamicClusterer(EPS, MINPTS, rho=0.0, dim=DIM),
+    "Semi-Approx": lambda: SemiDynamicClusterer(EPS, MINPTS, rho=RHO, dim=DIM),
+    "IncDBSCAN": lambda: IncDBSCAN(EPS, MINPTS, dim=DIM),
+}
+
+_collected = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_series():
+    yield
+    if _collected:
+        write_results(
+            "fig08_semi_2d.txt",
+            f"Figure 8: semi-dynamic, d={DIM}, N={N}, eps={EPS}, "
+            f"MinPts={MINPTS}, rho={RHO}, fqry={QFREQ}",
+            [series_lines(name, res) for name, res in _collected.items()],
+        )
+
+
+@pytest.mark.parametrize("name", list(ALGORITHMS))
+def test_fig08_semi_dynamic_2d(benchmark, name):
+    workload = cached_workload(N, DIM, insert_fraction=1.0, query_frequency=QFREQ)
+    result = execute(benchmark, ALGORITHMS[name], workload)
+    _collected[name] = result
+    assert result.average_cost > 0

@@ -1,0 +1,53 @@
+"""Figure 9 — semi-dynamic algorithms in d = 3, 5, 7.
+
+Paper: insert-only workloads at eps = 100d, MinPts = 10, rho = 0.001.
+Plots avgcost and maxupdcost over time for Semi-Approx vs IncDBSCAN.
+
+Expected shape: Semi-Approx wins by a wide margin at every d; the gap
+persists (and the paper's IncDBSCAN degrades over time while Semi-Approx
+stays flat).
+
+Series go to benchmarks/results/fig09_semi_highd.txt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.core.semidynamic import SemiDynamicClusterer
+from repro.workload.config import MINPTS, RHO, bench_n, eps_for
+
+from figlib import cached_workload, execute, series_lines, write_results
+
+DIMENSIONS = (3, 5, 7)
+N = bench_n(2500)
+QFREQ = max(1, N // 20)
+
+_collected = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_series():
+    yield
+    if _collected:
+        write_results(
+            "fig09_semi_highd.txt",
+            f"Figure 9: semi-dynamic, d in {DIMENSIONS}, N={N}, eps=100d, "
+            f"MinPts={MINPTS}, rho={RHO}",
+            [series_lines(name, res) for name, res in _collected.items()],
+        )
+
+
+@pytest.mark.parametrize("dim", DIMENSIONS)
+@pytest.mark.parametrize("algo", ["Semi-Approx", "IncDBSCAN"])
+def test_fig09_semi_dynamic_highd(benchmark, dim, algo):
+    eps = eps_for(dim)
+    factory = {
+        "Semi-Approx": lambda: SemiDynamicClusterer(eps, MINPTS, rho=RHO, dim=dim),
+        "IncDBSCAN": lambda: IncDBSCAN(eps, MINPTS, dim=dim),
+    }[algo]
+    workload = cached_workload(N, dim, insert_fraction=1.0, query_frequency=QFREQ)
+    result = execute(benchmark, factory, workload)
+    _collected[f"{algo} d={dim}"] = result
+    assert result.average_cost > 0

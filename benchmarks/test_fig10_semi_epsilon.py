@@ -1,0 +1,54 @@
+"""Figure 10 — semi-dynamic average workload cost vs eps.
+
+Paper: insert-only workloads with eps/d in {50, 100, 200, 400, 800},
+d = 2 (Fig 10a) and d = 3 (part of Fig 10b).  Plots the average workload
+cost of each algorithm as eps grows.
+
+Expected shape: IncDBSCAN becomes prohibitively expensive as eps rises
+(its range queries return ever more seeds), while our algorithms get
+*cheaper* (a larger eps means fewer grid-graph edges).
+
+Series go to benchmarks/results/fig10_semi_epsilon.txt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.core.semidynamic import SemiDynamicClusterer
+from repro.workload.config import EPS_PER_D, MINPTS, RHO, bench_n
+
+from figlib import cached_workload, execute, summarize_average, write_results
+
+DIMENSIONS = (2, 3)
+N = bench_n(1000)
+
+_rows = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_series():
+    yield
+    if _rows:
+        write_results(
+            "fig10_semi_epsilon.txt",
+            f"Figure 10: semi-dynamic avg workload cost vs eps/d, N={N}, "
+            f"MinPts={MINPTS}, rho={RHO}",
+            [summarize_average(sorted(_rows))],
+        )
+
+
+@pytest.mark.parametrize("dim", DIMENSIONS)
+@pytest.mark.parametrize("eps_per_d", EPS_PER_D)
+@pytest.mark.parametrize("algo", ["Semi-Approx", "IncDBSCAN"])
+def test_fig10_cost_vs_epsilon(benchmark, dim, eps_per_d, algo):
+    eps = float(eps_per_d * dim)
+    factory = {
+        "Semi-Approx": lambda: SemiDynamicClusterer(eps, MINPTS, rho=RHO, dim=dim),
+        "IncDBSCAN": lambda: IncDBSCAN(eps, MINPTS, dim=dim),
+    }[algo]
+    workload = cached_workload(N, dim, insert_fraction=1.0)
+    result = execute(benchmark, factory, workload)
+    _rows.append((f"d={dim} eps/d={eps_per_d}", algo, result.average_cost))
+    assert result.average_cost > 0

@@ -1,0 +1,64 @@
+"""Figure 11 — semi-dynamic average workload cost vs query frequency.
+
+Paper: insert-only workloads with a C-group-by query every fqry updates,
+fqry in {0.01N, 0.02N, 0.05N, 0.1N}.  Plots average workload cost per
+algorithm.
+
+Expected shape: queries are so cheap relative to updates that the curves
+are nearly flat — "query cost is negligible compared to update overhead".
+
+Series go to benchmarks/results/fig11_semi_queryfreq.txt.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.core.semidynamic import SemiDynamicClusterer
+from repro.workload.config import (
+    MINPTS,
+    QUERY_FREQ_FRACTIONS,
+    RHO,
+    bench_n,
+    eps_for,
+)
+
+from figlib import cached_workload, execute, summarize_average, write_results
+
+DIM = 2
+N = bench_n(1000)
+EPS = eps_for(DIM)
+
+_rows = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_series():
+    yield
+    if _rows:
+        write_results(
+            "fig11_semi_queryfreq.txt",
+            f"Figure 11: semi-dynamic avg workload cost vs query frequency, "
+            f"d={DIM}, N={N}, eps={EPS}, MinPts={MINPTS}, rho={RHO}",
+            [summarize_average(sorted(_rows))],
+        )
+
+
+@pytest.mark.parametrize("freq_fraction", QUERY_FREQ_FRACTIONS)
+@pytest.mark.parametrize("algo", ["Semi-Approx", "IncDBSCAN"])
+def test_fig11_cost_vs_query_frequency(benchmark, freq_fraction, algo):
+    qfreq = max(1, int(N * freq_fraction))
+    factory = {
+        "Semi-Approx": lambda: SemiDynamicClusterer(EPS, MINPTS, rho=RHO, dim=DIM),
+        "IncDBSCAN": lambda: IncDBSCAN(EPS, MINPTS, dim=DIM),
+    }[algo]
+    workload = cached_workload(N, DIM, insert_fraction=1.0, query_frequency=qfreq)
+    result = execute(benchmark, factory, workload)
+    _rows.append((f"fqry={freq_fraction}N", algo, result.average_cost))
+    queries = result.query_costs()
+    if queries:
+        benchmark.extra_info["mean_query_us"] = round(statistics.mean(queries), 2)
+    assert result.average_cost > 0

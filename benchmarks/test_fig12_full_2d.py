@@ -1,0 +1,64 @@
+"""Figure 12 — fully-dynamic algorithms in 2D.
+
+Paper: mixed workload (%ins = 5/6), d = 2, eps = 100d, MinPts = 10,
+rho = 0.001.  Plots avgcost(t) (Fig 12a) and maxupdcost(t) (Fig 12b) for
+IncDBSCAN, 2d-Full-Exact, and Double-Approx.
+
+Expected shape: our algorithms beat IncDBSCAN by a large factor on avgcost
+*and* — new versus the semi-dynamic case — by a clear factor on
+maxupdcost too, because IncDBSCAN's deletions trigger BFS with many range
+queries while ours never BFS.
+
+Series go to benchmarks/results/fig12_full_2d.txt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.workload.config import (
+    DEFAULT_INSERT_FRACTION,
+    MINPTS,
+    RHO,
+    bench_n,
+    eps_for,
+)
+
+from figlib import cached_workload, execute, series_lines, write_results
+
+DIM = 2
+N = bench_n(2500)
+EPS = eps_for(DIM)
+QFREQ = max(1, N // 20)
+
+ALGORITHMS = {
+    "2d-Full-Exact": lambda: FullyDynamicClusterer(EPS, MINPTS, rho=0.0, dim=DIM),
+    "Double-Approx": lambda: FullyDynamicClusterer(EPS, MINPTS, rho=RHO, dim=DIM),
+    "IncDBSCAN": lambda: IncDBSCAN(EPS, MINPTS, dim=DIM),
+}
+
+_collected = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_series():
+    yield
+    if _collected:
+        write_results(
+            "fig12_full_2d.txt",
+            f"Figure 12: fully-dynamic, d={DIM}, N={N}, eps={EPS}, "
+            f"MinPts={MINPTS}, rho={RHO}, %ins={DEFAULT_INSERT_FRACTION:.3f}",
+            [series_lines(name, res) for name, res in _collected.items()],
+        )
+
+
+@pytest.mark.parametrize("name", list(ALGORITHMS))
+def test_fig12_fully_dynamic_2d(benchmark, name):
+    workload = cached_workload(
+        N, DIM, insert_fraction=DEFAULT_INSERT_FRACTION, query_frequency=QFREQ
+    )
+    result = execute(benchmark, ALGORITHMS[name], workload)
+    _collected[name] = result
+    assert result.average_cost > 0

@@ -1,0 +1,63 @@
+"""Figure 13 — fully-dynamic algorithms in d = 3, 5, 7.
+
+Paper: mixed workloads (%ins = 5/6) at eps = 100d.  Plots avgcost and
+maxupdcost for Double-Approx vs IncDBSCAN.  The paper terminated
+IncDBSCAN's 5D and 7D runs after 3 hours; we keep N small enough that it
+finishes, but its deletion BFS still dominates.
+
+Expected shape: Double-Approx wins avgcost by a wide margin everywhere and
+maxupdcost by ~an order of magnitude (deletion hardness).
+
+Series go to benchmarks/results/fig13_full_highd.txt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.workload.config import (
+    DEFAULT_INSERT_FRACTION,
+    MINPTS,
+    RHO,
+    SLOW_BENCH_N,
+    bench_n,
+    eps_for,
+)
+
+from figlib import cached_workload, execute, series_lines, write_results
+
+DIMENSIONS = (3, 5, 7)
+N = bench_n(SLOW_BENCH_N)
+QFREQ = max(1, N // 20)
+
+_collected = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_series():
+    yield
+    if _collected:
+        write_results(
+            "fig13_full_highd.txt",
+            f"Figure 13: fully-dynamic, d in {DIMENSIONS}, N={N}, eps=100d, "
+            f"MinPts={MINPTS}, rho={RHO}, %ins={DEFAULT_INSERT_FRACTION:.3f}",
+            [series_lines(name, res) for name, res in _collected.items()],
+        )
+
+
+@pytest.mark.parametrize("dim", DIMENSIONS)
+@pytest.mark.parametrize("algo", ["Double-Approx", "IncDBSCAN"])
+def test_fig13_fully_dynamic_highd(benchmark, dim, algo):
+    eps = eps_for(dim)
+    factory = {
+        "Double-Approx": lambda: FullyDynamicClusterer(eps, MINPTS, rho=RHO, dim=dim),
+        "IncDBSCAN": lambda: IncDBSCAN(eps, MINPTS, dim=dim),
+    }[algo]
+    workload = cached_workload(
+        N, dim, insert_fraction=DEFAULT_INSERT_FRACTION, query_frequency=QFREQ
+    )
+    result = execute(benchmark, factory, workload)
+    _collected[f"{algo} d={dim}"] = result
+    assert result.average_cost > 0

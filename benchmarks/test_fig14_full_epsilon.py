@@ -1,0 +1,59 @@
+"""Figure 14 — fully-dynamic average workload cost vs eps.
+
+Paper: mixed workloads (%ins = 5/6) with eps/d in {50, 100, 200, 400, 800}.
+
+Expected shape: IncDBSCAN is "essentially inapplicable for large eps"
+(every deletion's BFS touches huge neighborhoods), while our cost is flat
+or falls with eps.
+
+Series go to benchmarks/results/fig14_full_epsilon.txt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.workload.config import (
+    DEFAULT_INSERT_FRACTION,
+    EPS_PER_D,
+    MINPTS,
+    RHO,
+    SLOW_BENCH_N,
+    bench_n,
+)
+
+from figlib import cached_workload, execute, summarize_average, write_results
+
+DIMENSIONS = (2, 3)
+N = bench_n(SLOW_BENCH_N)
+
+_rows = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_series():
+    yield
+    if _rows:
+        write_results(
+            "fig14_full_epsilon.txt",
+            f"Figure 14: fully-dynamic avg workload cost vs eps/d, N={N}, "
+            f"MinPts={MINPTS}, rho={RHO}, %ins={DEFAULT_INSERT_FRACTION:.3f}",
+            [summarize_average(sorted(_rows))],
+        )
+
+
+@pytest.mark.parametrize("dim", DIMENSIONS)
+@pytest.mark.parametrize("eps_per_d", EPS_PER_D)
+@pytest.mark.parametrize("algo", ["Double-Approx", "IncDBSCAN"])
+def test_fig14_cost_vs_epsilon(benchmark, dim, eps_per_d, algo):
+    eps = float(eps_per_d * dim)
+    factory = {
+        "Double-Approx": lambda: FullyDynamicClusterer(eps, MINPTS, rho=RHO, dim=dim),
+        "IncDBSCAN": lambda: IncDBSCAN(eps, MINPTS, dim=dim),
+    }[algo]
+    workload = cached_workload(N, dim, insert_fraction=DEFAULT_INSERT_FRACTION)
+    result = execute(benchmark, factory, workload)
+    _rows.append((f"d={dim} eps/d={eps_per_d}", algo, result.average_cost))
+    assert result.average_cost > 0

@@ -1,0 +1,66 @@
+"""Figure 15 — fully-dynamic average workload cost vs insertion percentage.
+
+Paper: mixed workloads with %ins in {2/3, 4/5, 5/6, 8/9, 10/11}.
+
+Expected shape: every method gets cheaper as insertions dominate (fewer
+deletions = less hard work), and our algorithms win at every mix; the gap
+is largest at low %ins, where IncDBSCAN's deletion BFS fires most often.
+
+Series go to benchmarks/results/fig15_full_insfrac.txt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.workload.config import (
+    INSERT_FRACTIONS,
+    MINPTS,
+    RHO,
+    SLOW_BENCH_N,
+    bench_n,
+    eps_for,
+)
+
+from figlib import cached_workload, execute, summarize_average, write_results
+
+DIM = 2
+N = bench_n(SLOW_BENCH_N)
+EPS = eps_for(DIM)
+
+_rows = []
+
+_FRACTION_LABELS = {
+    2 / 3: "2/3",
+    4 / 5: "4/5",
+    5 / 6: "5/6",
+    8 / 9: "8/9",
+    10 / 11: "10/11",
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_series():
+    yield
+    if _rows:
+        write_results(
+            "fig15_full_insfrac.txt",
+            f"Figure 15: fully-dynamic avg workload cost vs %ins, d={DIM}, "
+            f"N={N}, eps={EPS}, MinPts={MINPTS}, rho={RHO}",
+            [summarize_average(_rows)],
+        )
+
+
+@pytest.mark.parametrize("fraction", INSERT_FRACTIONS)
+@pytest.mark.parametrize("algo", ["Double-Approx", "IncDBSCAN"])
+def test_fig15_cost_vs_insert_fraction(benchmark, fraction, algo):
+    factory = {
+        "Double-Approx": lambda: FullyDynamicClusterer(EPS, MINPTS, rho=RHO, dim=DIM),
+        "IncDBSCAN": lambda: IncDBSCAN(EPS, MINPTS, dim=DIM),
+    }[algo]
+    workload = cached_workload(N, DIM, insert_fraction=fraction)
+    result = execute(benchmark, factory, workload)
+    _rows.append((f"%ins={_FRACTION_LABELS[fraction]}", algo, result.average_cost))
+    assert result.average_cost > 0

@@ -1,0 +1,145 @@
+"""Table 1 — the dynamic-hardness landscape, measured.
+
+Table 1 summarizes the paper's theory: the tractable cells (2D exact,
+semi-dynamic rho-approx, fully-dynamic rho-double-approx) admit O~(1)
+updates and O~(|Q|) queries, while fully-dynamic rho-approximate DBSCAN is
+Omega~(n^{1/3})-hard via the USEC-LS reduction.
+
+We cannot benchmark a lower bound, but we can measure its two sides:
+
+* **Tractable rows** — per-update and per-query cost of our algorithms at
+  growing n, which should grow at most poly-logarithmically (flat-ish),
+  while IncDBSCAN's deletion cost grows clearly with n.
+* **The reduction** — the Lemma 2 probe loop really decides USEC-LS
+  (checked against brute force inside the benchmark).
+
+Rows go to benchmarks/results/table1_hardness.txt.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.core.semidynamic import SemiDynamicClusterer
+from repro.hardness.reduction import (
+    make_reduction_clusterer,
+    solve_usec_ls_with_clusterer,
+)
+from repro.hardness.usec import random_usec_ls_instance, usec_ls_brute
+from repro.workload.config import MINPTS, RHO, bench_n, eps_for
+
+from figlib import cached_workload, write_results
+
+DIM = 3
+EPS = eps_for(DIM)
+SIZES = tuple(
+    max(200, int(bench_n(2400) * f)) for f in (0.25, 0.5, 1.0)
+)
+
+_rows = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_series():
+    yield
+    if _rows:
+        write_results(
+            "table1_hardness.txt",
+            f"Table 1 (measured side): per-op costs vs n, d={DIM}, eps={EPS}, "
+            f"MinPts={MINPTS}, rho={RHO}",
+            [["row\tn\tper_update_us\tper_query_us"]
+             + [f"{name}\t{n}\t{upd:.2f}\t{qry:.2f}" for name, n, upd, qry in _rows]],
+        )
+
+
+def _measure(factory, n):
+    workload = cached_workload(n, DIM, insert_fraction=5 / 6,
+                               query_frequency=max(1, n // 20))
+    algo = factory()
+    from repro.workload.runner import run_workload
+
+    result = run_workload(algo, workload)
+    updates = result.update_costs()
+    queries = result.query_costs()
+    return (
+        statistics.mean(updates),
+        statistics.mean(queries) if queries else 0.0,
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_table1_double_approx_scaling(benchmark, n):
+    """Fully-dynamic rho-double-approx: the paper's O~(1)/O~(|Q|) row."""
+
+    def run():
+        return _measure(
+            lambda: FullyDynamicClusterer(EPS, MINPTS, rho=RHO, dim=DIM), n
+        )
+
+    upd, qry = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["per_update_us"] = round(upd, 2)
+    benchmark.extra_info["per_query_us"] = round(qry, 2)
+    _rows.append(("Double-Approx", n, upd, qry))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_table1_semi_approx_scaling(benchmark, n):
+    """Semi-dynamic rho-approx (insertions only): the other O~(1) row."""
+
+    def run():
+        workload = cached_workload(n, DIM, insert_fraction=1.0,
+                                   query_frequency=max(1, n // 20))
+        from repro.workload.runner import run_workload
+
+        result = run_workload(
+            SemiDynamicClusterer(EPS, MINPTS, rho=RHO, dim=DIM), workload
+        )
+        updates = result.update_costs()
+        queries = result.query_costs()
+        return (
+            statistics.mean(updates),
+            statistics.mean(queries) if queries else 0.0,
+        )
+
+    upd, qry = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["per_update_us"] = round(upd, 2)
+    benchmark.extra_info["per_query_us"] = round(qry, 2)
+    _rows.append(("Semi-Approx", n, upd, qry))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_table1_incdbscan_scaling(benchmark, n):
+    """IncDBSCAN: per-update cost grows with n (no O~(1) guarantee)."""
+
+    def run():
+        return _measure(lambda: IncDBSCAN(EPS, MINPTS, dim=DIM), n)
+
+    upd, qry = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["per_update_us"] = round(upd, 2)
+    benchmark.extra_info["per_query_us"] = round(qry, 2)
+    _rows.append(("IncDBSCAN", n, upd, qry))
+
+
+def test_table1_usec_ls_reduction_correct(benchmark):
+    """The Lemma 2 probe loop decides USEC-LS (the hardness side)."""
+
+    def run():
+        start = time.perf_counter()
+        checked = 0
+        for seed in range(5):
+            inst = random_usec_ls_instance(12, 12, DIM, extent=3.0, seed=seed)
+            got = solve_usec_ls_with_clusterer(
+                inst.red, inst.blue, make_reduction_clusterer
+            )
+            assert got == usec_ls_brute(inst.red, inst.blue)
+            checked += 1
+        return checked, time.perf_counter() - start
+
+    checked, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["instances_checked"] = checked
+    assert checked == 5

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Tracking cluster evolution events through a dynamic workload.
+
+Combines the fully-dynamic clusterer with :class:`repro.analysis.
+ClusterTracker`: a seed-spreader stream is inserted while old points decay
+away, and every structural change in the clustering — clusters appearing,
+growing, merging, splitting, vanishing — is reported as it happens.  This
+is the event-level view of the paper's Figure 1.
+
+Run: python examples/cluster_evolution.py
+"""
+
+import random
+
+from repro import double_approx, seed_spreader
+from repro.analysis import ClusterTracker, cluster_stats
+
+BATCH = 40
+BATCHES = 25
+DECAY = 0.15  # fraction of live points deleted per batch
+
+
+def main():
+    rng = random.Random(99)
+    points = seed_spreader(BATCH * BATCHES, dim=2, seed=7)
+    algo = double_approx(eps=200.0, minpts=10, rho=0.001, dim=2)
+    tracker = ClusterTracker()
+    live = []
+
+    print(f"streaming {len(points)} points in {BATCHES} batches, "
+          f"{DECAY:.0%} decay per batch\n")
+    cursor = 0
+    for batch in range(BATCHES):
+        for _ in range(BATCH):
+            live.append(algo.insert(points[cursor]))
+            cursor += 1
+        for _ in range(int(len(live) * DECAY)):
+            algo.delete(live.pop(rng.randrange(len(live))))
+
+        events = tracker.observe(algo.clusters())
+        interesting = [e for e in events if e.kind in ("merge", "split",
+                                                       "appear", "vanish")]
+        if interesting:
+            stats = cluster_stats(algo.clusters())
+            summary = ", ".join(str(e) for e in interesting)
+            print(f"batch {batch:2d} [{len(live):4d} live, "
+                  f"{stats.cluster_count} clusters]: {summary}")
+
+    final = cluster_stats(algo.clusters())
+    print(f"\nfinal: {final.cluster_count} clusters, sizes {final.sizes[:8]}"
+          f"{'...' if len(final.sizes) > 8 else ''}, "
+          f"{final.noise_count} noise points")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Head-to-head: Double-Approx vs IncDBSCAN on one mixed workload.
+
+A miniature version of the paper's Section 8.3 experiment: the same
+fully-dynamic workload (5/6 insertions, 1/6 deletions, periodic C-group-by
+queries) fed to both algorithms, reporting the paper's three metrics —
+average operation cost, maximum update cost, and query cost.
+
+Run: python examples/compare_baselines.py            (quick)
+     REPRO_BENCH_N=5000 python examples/compare_baselines.py  (longer)
+"""
+
+import statistics
+
+from repro import IncDBSCAN, double_approx, generate_workload, run_workload
+from repro.workload.config import MINPTS, RHO, bench_n, eps_for
+
+DIM = 2
+N = bench_n(1500)
+
+
+def report(name, result):
+    queries = result.query_costs()
+    print(
+        f"  {name:14s} avg {result.average_cost:9.1f} us/op   "
+        f"max-update {result.max_update_cost:10.1f} us   "
+        f"avg-query {statistics.mean(queries) if queries else 0.0:8.1f} us"
+    )
+    return result.average_cost
+
+
+def main():
+    eps = eps_for(DIM)
+    print(
+        f"workload: N={N} updates (5/6 inserts), d={DIM}, eps={eps:.0f}, "
+        f"MinPts={MINPTS}, rho={RHO}, query every {max(1, N // 20)} updates\n"
+    )
+    workload = generate_workload(
+        N, DIM, insert_fraction=5 / 6, query_frequency=max(1, N // 20), seed=42
+    )
+
+    ours = double_approx(eps, MINPTS, rho=RHO, dim=DIM)
+    ours_cost = report("Double-Approx", run_workload(ours, workload))
+
+    inc = IncDBSCAN(eps, MINPTS, dim=DIM)
+    inc_cost = report("IncDBSCAN", run_workload(inc, workload))
+
+    print(
+        f"\nDouble-Approx is {inc_cost / ours_cost:.1f}x faster on average "
+        f"(the paper reports up to two orders of magnitude at N = 10M —\n"
+        f"the gap widens with N because IncDBSCAN's range queries and\n"
+        f"deletion BFS grow with the dataset while ours stay near-constant)."
+    )
+    print(
+        f"\nfinal state: ours={len(ours)} points / "
+        f"{ours.clusters().cluster_count} clusters; "
+        f"IncDBSCAN ran {inc.range_queries} range queries."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs in offline environments
+that lack the ``wheel`` package (``pip install -e . --no-use-pep517``).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

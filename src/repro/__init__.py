@@ -1,0 +1,75 @@
+"""repro — Dynamic Density Based Clustering (Gan & Tao, SIGMOD 2017).
+
+A full reproduction of the paper's systems:
+
+* **Semi-dynamic rho-approximate DBSCAN** (Theorem 1) —
+  :class:`SemiDynamicClusterer` / :func:`semi_approx` /
+  :func:`semi_exact_2d`;
+* **Fully-dynamic rho-double-approximate DBSCAN** (Theorem 4) —
+  :class:`FullyDynamicClusterer` / :func:`double_approx` /
+  :func:`full_exact_2d`;
+* **C-group-by queries** on both (``cgroup_by``), the paper's novel query;
+* **IncDBSCAN** (Ester et al. 1998), the dynamic competitor;
+* static exact / rho-approximate DBSCAN references, the sandwich and
+  legality validators, the seed-spreader workload generator, and the
+  USEC / USEC-LS hardness machinery.
+
+Quickstart::
+
+    from repro import double_approx
+
+    algo = double_approx(eps=3.0, minpts=5, rho=0.001, dim=2)
+    ids = [algo.insert(p) for p in points]
+    result = algo.cgroup_by(ids[:10])   # group 10 points by cluster
+    algo.delete(ids[0])                 # fully dynamic
+
+Exact DBSCAN is always the ``rho=0`` special case.
+"""
+
+from repro.core.framework import CGroupByResult, Clustering
+from repro.core.grid import Grid
+from repro.core.semidynamic import SemiDynamicClusterer, semi_approx, semi_exact_2d
+from repro.core.fullydynamic import (
+    FullyDynamicClusterer,
+    double_approx,
+    full_exact_2d,
+)
+from repro.analysis import ClusterEvent, ClusterTracker, cluster_stats
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.baselines.naive_dynamic import RecomputeClusterer
+from repro.baselines.static_dbscan import StaticClustering, dbscan_brute, dbscan_grid
+from repro.baselines.static_rho import rho_dbscan_static
+from repro.validation import check_legality, check_sandwich
+from repro.workload.seed_spreader import seed_spreader
+from repro.workload.workload import Workload, generate_workload
+from repro.workload.runner import RunResult, run_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CGroupByResult",
+    "ClusterEvent",
+    "ClusterTracker",
+    "Clustering",
+    "FullyDynamicClusterer",
+    "Grid",
+    "IncDBSCAN",
+    "RecomputeClusterer",
+    "RunResult",
+    "SemiDynamicClusterer",
+    "StaticClustering",
+    "Workload",
+    "check_legality",
+    "cluster_stats",
+    "check_sandwich",
+    "dbscan_brute",
+    "dbscan_grid",
+    "double_approx",
+    "full_exact_2d",
+    "generate_workload",
+    "rho_dbscan_static",
+    "run_workload",
+    "seed_spreader",
+    "semi_approx",
+    "semi_exact_2d",
+]

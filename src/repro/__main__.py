@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``bench``    — run one Section 8.1 workload through chosen algorithms
+  and print the paper's metrics (average / max-update / query cost).
+* ``generate`` — write a seed-spreader dataset as CSV to stdout or a file.
+* ``usec``     — run the Theorem 2 hardness reduction on random instances.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import List
+
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.baselines.naive_dynamic import RecomputeClusterer
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.core.semidynamic import SemiDynamicClusterer
+from repro.workload.config import MINPTS, RHO, eps_for
+from repro.workload.runner import run_workload
+from repro.workload.seed_spreader import seed_spreader
+from repro.workload.workload import generate_workload
+
+ALGORITHM_CHOICES = (
+    "semi-exact",
+    "semi-approx",
+    "full-exact",
+    "double-approx",
+    "incdbscan",
+    "recompute",
+)
+
+
+def _make_algorithm(name: str, eps: float, minpts: int, rho: float, dim: int):
+    if name == "semi-exact":
+        return SemiDynamicClusterer(eps, minpts, rho=0.0, dim=dim)
+    if name == "semi-approx":
+        return SemiDynamicClusterer(eps, minpts, rho=rho, dim=dim)
+    if name == "full-exact":
+        return FullyDynamicClusterer(eps, minpts, rho=0.0, dim=dim)
+    if name == "double-approx":
+        return FullyDynamicClusterer(eps, minpts, rho=rho, dim=dim)
+    if name == "incdbscan":
+        return IncDBSCAN(eps, minpts, dim=dim)
+    if name == "recompute":
+        return RecomputeClusterer(eps, minpts, dim=dim)
+    raise ValueError(f"unknown algorithm {name!r}")
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    unknown = [a for a in args.algorithms if a not in ALGORITHM_CHOICES]
+    if unknown:
+        print(
+            f"unknown algorithm(s): {', '.join(unknown)} "
+            f"(choices: {', '.join(ALGORITHM_CHOICES)})",
+            file=sys.stderr,
+        )
+        return 2
+    eps = args.eps if args.eps is not None else eps_for(args.dim, args.eps_per_d)
+    insert_fraction = 1.0 if args.semi else args.insert_fraction
+    workload = generate_workload(
+        args.n,
+        args.dim,
+        insert_fraction=insert_fraction,
+        query_frequency=max(1, int(args.n * args.query_freq)),
+        seed=args.seed,
+    )
+    print(
+        f"workload: N={args.n} (%ins={insert_fraction:.3f}), d={args.dim}, "
+        f"eps={eps:g}, MinPts={args.minpts}, rho={args.rho}, "
+        f"{workload.query_count} queries"
+    )
+    for name in args.algorithms:
+        if name.startswith("semi") and insert_fraction < 1.0:
+            print(f"  {name:14s} skipped (semi-dynamic, workload has deletions)")
+            continue
+        algo = _make_algorithm(name, eps, args.minpts, args.rho, args.dim)
+        result = run_workload(algo, workload)
+        queries = result.query_costs()
+        print(
+            f"  {name:14s} avg {result.average_cost:10.1f} us/op   "
+            f"max-update {result.max_update_cost:12.1f} us   "
+            f"avg-query {statistics.mean(queries) if queries else 0.0:10.1f} us"
+        )
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    points = seed_spreader(args.n, args.dim, seed=args.seed)
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        for p in points:
+            out.write(",".join(f"{x:.6f}" for x in p) + "\n")
+    finally:
+        if args.output:
+            out.close()
+    if args.output:
+        print(f"wrote {len(points)} points to {args.output}")
+    return 0
+
+
+def cmd_usec(args: argparse.Namespace) -> int:
+    from repro.hardness.reduction import (
+        make_reduction_clusterer,
+        solve_usec_ls_with_clusterer,
+    )
+    from repro.hardness.usec import random_usec_ls_instance, usec_ls_brute
+
+    mismatches = 0
+    for seed in range(args.instances):
+        inst = random_usec_ls_instance(
+            args.n, args.n, args.dim, extent=3.0, seed=seed
+        )
+        got = solve_usec_ls_with_clusterer(
+            inst.red, inst.blue, make_reduction_clusterer
+        )
+        want = usec_ls_brute(inst.red, inst.blue)
+        status = "OK" if got == want else "MISMATCH"
+        mismatches += got != want
+        print(
+            f"instance {seed}: clustering={'yes' if got else 'no'} "
+            f"brute={'yes' if want else 'no'} [{status}]"
+        )
+    print(f"{args.instances - mismatches}/{args.instances} agree")
+    return 1 if mismatches else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Dynamic density based clustering (Gan & Tao, SIGMOD 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bench = sub.add_parser("bench", help="run a workload through algorithms")
+    bench.add_argument("--n", type=int, default=2000, help="number of updates")
+    bench.add_argument("--dim", type=int, default=2)
+    bench.add_argument("--eps", type=float, default=None, help="absolute eps")
+    bench.add_argument(
+        "--eps-per-d", type=int, default=100, help="eps = eps_per_d * dim"
+    )
+    bench.add_argument("--minpts", type=int, default=MINPTS)
+    bench.add_argument("--rho", type=float, default=RHO)
+    bench.add_argument(
+        "--insert-fraction", type=float, default=5 / 6, help="%%ins of Table 2"
+    )
+    bench.add_argument(
+        "--query-freq", type=float, default=0.05, help="queries per update"
+    )
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument(
+        "--semi", action="store_true", help="insert-only workload"
+    )
+    bench.add_argument(
+        "algorithms",
+        nargs="*",
+        default=["double-approx", "incdbscan"],
+        help=f"algorithms to run (choices: {', '.join(ALGORITHM_CHOICES)})",
+    )
+    bench.set_defaults(func=cmd_bench)
+
+    gen = sub.add_parser("generate", help="emit a seed-spreader dataset (CSV)")
+    gen.add_argument("--n", type=int, default=10000)
+    gen.add_argument("--dim", type=int, default=2)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--output", type=str, default=None)
+    gen.set_defaults(func=cmd_generate)
+
+    usec = sub.add_parser("usec", help="run the Theorem 2 hardness reduction")
+    usec.add_argument("--n", type=int, default=12, help="points per color")
+    usec.add_argument("--dim", type=int, default=2)
+    usec.add_argument("--instances", type=int, default=5)
+    usec.set_defaults(func=cmd_usec)
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

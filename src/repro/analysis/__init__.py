@@ -1,0 +1,18 @@
+"""Analysis utilities on top of the dynamic clusterers.
+
+* :class:`ClusterTracker` — snapshot-to-snapshot cluster evolution
+  (appear / vanish / grow / shrink / merge / split), the bookkeeping
+  behind narratives like the paper's Figure 1.
+* :func:`cluster_stats` — size distribution and noise summary of one
+  clustering.
+"""
+
+from repro.analysis.tracker import ClusterEvent, ClusterTracker, cluster_stats
+from repro.analysis.window import SlidingWindowClusterer
+
+__all__ = [
+    "ClusterEvent",
+    "ClusterTracker",
+    "SlidingWindowClusterer",
+    "cluster_stats",
+]

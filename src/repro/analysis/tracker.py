@@ -1,0 +1,160 @@
+"""Cluster-evolution tracking between clustering snapshots.
+
+The paper's Figure 1 narrative — insertions creating a "connection path"
+that merges clusters, deletions breaking one up — is about *events* in the
+cluster structure.  :class:`ClusterTracker` turns consecutive clusterings
+into such events by overlap matching:
+
+* a current cluster inheriting points from two or more previous clusters
+  is a **merge**;
+* two or more current clusters inheriting from one previous cluster form
+  a **split**;
+* clusters with no inherited points **appear**; previous clusters whose
+  points all left the clustering **vanish**;
+* one-to-one matches with changed size **grow**/**shrink**.
+
+Matching is by shared point ids, so deleted points simply stop counting
+and inserted points only affect the cluster they land in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from repro.core.framework import Clustering
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """One structural change between consecutive snapshots."""
+
+    kind: str  # "appear" | "vanish" | "merge" | "split" | "grow" | "shrink"
+    #: Clusters of the previous snapshot involved (as point-id sets).
+    before: Sequence[FrozenSet[int]] = ()
+    #: Clusters of the current snapshot involved.
+    after: Sequence[FrozenSet[int]] = ()
+
+    def __str__(self) -> str:
+        b = "+".join(str(len(c)) for c in self.before) or "-"
+        a = "+".join(str(len(c)) for c in self.after) or "-"
+        return f"{self.kind}({b} -> {a})"
+
+
+@dataclass
+class ClusterStats:
+    """Summary of one clustering snapshot."""
+
+    cluster_count: int
+    sizes: List[int]
+    noise_count: int
+
+    @property
+    def largest(self) -> int:
+        return max(self.sizes) if self.sizes else 0
+
+    @property
+    def clustered_points(self) -> int:
+        return sum(self.sizes)
+
+
+def cluster_stats(clustering: Clustering) -> ClusterStats:
+    """Size distribution of a clustering."""
+    sizes = sorted((len(c) for c in clustering.clusters), reverse=True)
+    return ClusterStats(
+        cluster_count=len(sizes), sizes=sizes, noise_count=len(clustering.noise)
+    )
+
+
+class ClusterTracker:
+    """Feed clustering snapshots; read back evolution events.
+
+    Usage::
+
+        tracker = ClusterTracker()
+        tracker.observe(algo.clusters())
+        ... updates ...
+        events = tracker.observe(algo.clusters())
+    """
+
+    def __init__(self) -> None:
+        self._previous: Optional[List[FrozenSet[int]]] = None
+
+    def observe(self, clustering: Clustering) -> List[ClusterEvent]:
+        """Record a snapshot; return events relative to the previous one."""
+        current = [frozenset(c) for c in clustering.clusters]
+        previous = self._previous
+        self._previous = current
+        if previous is None:
+            return [ClusterEvent("appear", after=(c,)) for c in current]
+        return _diff(previous, current)
+
+
+def _diff(
+    previous: List[FrozenSet[int]], current: List[FrozenSet[int]]
+) -> List[ClusterEvent]:
+    # Bipartite overlap edges between previous and current clusters.
+    overlaps: Dict[int, Set[int]] = {}  # prev index -> curr indices
+    reverse: Dict[int, Set[int]] = {}  # curr index -> prev indices
+    point_home: Dict[int, List[int]] = {}
+    for ci, cluster in enumerate(current):
+        for p in cluster:
+            point_home.setdefault(p, []).append(ci)
+    for pi, cluster in enumerate(previous):
+        for p in cluster:
+            for ci in point_home.get(p, ()):
+                overlaps.setdefault(pi, set()).add(ci)
+                reverse.setdefault(ci, set()).add(pi)
+
+    events: List[ClusterEvent] = []
+    # Connected components of the overlap graph classify the events.
+    seen_prev: Set[int] = set()
+    seen_curr: Set[int] = set()
+    for pi in range(len(previous)):
+        if pi in seen_prev or pi not in overlaps:
+            continue
+        comp_prev = {pi}
+        comp_curr: Set[int] = set()
+        frontier = [("p", pi)]
+        while frontier:
+            side, idx = frontier.pop()
+            if side == "p":
+                for ci in overlaps.get(idx, ()):
+                    if ci not in comp_curr:
+                        comp_curr.add(ci)
+                        frontier.append(("c", ci))
+            else:
+                for pj in reverse.get(idx, ()):
+                    if pj not in comp_prev:
+                        comp_prev.add(pj)
+                        frontier.append(("p", pj))
+        seen_prev |= comp_prev
+        seen_curr |= comp_curr
+        before = tuple(previous[i] for i in sorted(comp_prev))
+        after = tuple(current[i] for i in sorted(comp_curr))
+        if len(comp_prev) == 1 and len(comp_curr) == 1:
+            old, new = before[0], after[0]
+            if len(new) > len(old):
+                events.append(ClusterEvent("grow", before, after))
+            elif len(new) < len(old):
+                events.append(ClusterEvent("shrink", before, after))
+            # identical size with same identity: no event
+            elif old != new:
+                events.append(ClusterEvent("grow", before, after))
+        elif len(comp_prev) == 1:
+            events.append(ClusterEvent("split", before, after))
+        elif len(comp_curr) == 1:
+            events.append(ClusterEvent("merge", before, after))
+        else:
+            # Simultaneous merge+split (rare): report as one merge event
+            # followed by one split for readability.
+            events.append(ClusterEvent("merge", before, after))
+            events.append(ClusterEvent("split", before, after))
+
+    for pi, cluster in enumerate(previous):
+        if pi not in seen_prev and pi not in overlaps:
+            events.append(ClusterEvent("vanish", before=(cluster,)))
+    for ci, cluster in enumerate(current):
+        if ci not in seen_curr and ci not in reverse:
+            events.append(ClusterEvent("appear", after=(cluster,)))
+    return events

@@ -1,0 +1,75 @@
+"""Sliding-window clustering on top of the fully-dynamic algorithm.
+
+A common deployment of dynamic clustering (and the paper's motivating
+"data updates" setting): keep only the most recent ``capacity`` points,
+expiring the oldest on every arrival.  Each arrival is one insertion plus
+at most one deletion — a perfectly balanced fully-dynamic workload.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional, Sequence
+
+from repro.core.framework import CGroupByResult, Clustering
+from repro.core.fullydynamic import FullyDynamicClusterer
+
+
+class SlidingWindowClusterer:
+    """FIFO window of the last ``capacity`` points, clustered dynamically."""
+
+    def __init__(
+        self,
+        capacity: int,
+        eps: float,
+        minpts: int,
+        rho: float = 0.001,
+        dim: int = 2,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._algo = FullyDynamicClusterer(eps, minpts, rho=rho, dim=dim)
+        self._window: Deque[int] = deque()
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    @property
+    def clusterer(self) -> FullyDynamicClusterer:
+        """The underlying fully-dynamic clusterer (read-only use)."""
+        return self._algo
+
+    def append(self, point: Sequence[float]) -> int:
+        """Insert a new point, expiring the oldest if over capacity.
+
+        Returns the new point's id.
+        """
+        pid = self._algo.insert(point)
+        self._window.append(pid)
+        if len(self._window) > self.capacity:
+            self._algo.delete(self._window.popleft())
+        return pid
+
+    def extend(self, points: Iterable[Sequence[float]]) -> None:
+        for p in points:
+            self.append(p)
+
+    def oldest(self) -> Optional[int]:
+        return self._window[0] if self._window else None
+
+    def newest(self) -> Optional[int]:
+        return self._window[-1] if self._window else None
+
+    def ids(self):
+        """Live point ids, oldest first."""
+        return iter(self._window)
+
+    def cgroup_by(self, pids) -> CGroupByResult:
+        return self._algo.cgroup_by(pids)
+
+    def clusters(self) -> Clustering:
+        return self._algo.clusters()
+
+    def same_cluster(self, pid_a: int, pid_b: int) -> bool:
+        return self._algo.same_cluster(pid_a, pid_b)

@@ -1,0 +1,21 @@
+"""Reference and competitor algorithms.
+
+* :func:`dbscan_brute` / :func:`dbscan_grid` — static exact DBSCAN
+  (Ester et al. 1996), used as the correctness oracle.
+* :func:`rho_dbscan_static` — static rho-approximate DBSCAN (Gan & Tao
+  2015), one legal instantiation of the approximate semantics.
+* :class:`IncDBSCAN` — the dynamic competitor (Ester et al. 1998) the
+  paper benchmarks against.
+"""
+
+from repro.baselines.static_dbscan import StaticClustering, dbscan_brute, dbscan_grid
+from repro.baselines.static_rho import rho_dbscan_static
+from repro.baselines.incdbscan import IncDBSCAN
+
+__all__ = [
+    "StaticClustering",
+    "dbscan_brute",
+    "dbscan_grid",
+    "rho_dbscan_static",
+    "IncDBSCAN",
+]

@@ -1,0 +1,117 @@
+"""The "obvious attempt" baseline the paper's introduction dismisses.
+
+Store the points, mark the clustering dirty on every update, and recompute
+exact DBSCAN from scratch (grid-accelerated) on the first query after a
+change.  Updates are O(1); queries are Omega(n) — exactly the trade-off
+the C-group-by formulation is designed to expose.  Useful as
+
+* a drop-in oracle for small integration tests (it is trivially correct),
+* the baseline showing why "fast updates + recompute on demand" does not
+  meet the paper's query bar (see ``benchmarks/test_table1_hardness.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.baselines.static_dbscan import StaticClustering, dbscan_grid
+from repro.core.framework import CGroupByResult, Clustering
+from repro.geometry.points import Point
+
+
+class RecomputeClusterer:
+    """Exact DBSCAN with O(1) updates and recompute-on-query semantics."""
+
+    def __init__(self, eps: float, minpts: int, dim: int = 2) -> None:
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if minpts < 1:
+            raise ValueError(f"minpts must be >= 1, got {minpts}")
+        self.eps = eps
+        self.minpts = minpts
+        self.dim = dim
+        self._points: Dict[int, Point] = {}
+        self._next_id = 0
+        self._cache: Optional[StaticClustering] = None
+        self._cache_keys: List[int] = []
+        self.recomputations = 0  # instrumentation for benchmarks
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._points
+
+    def point(self, pid: int) -> Point:
+        return self._points[pid]
+
+    def ids(self) -> Iterable[int]:
+        return self._points.keys()
+
+    # ------------------------------------------------------------------
+    # Updates: O(1), just invalidate
+    # ------------------------------------------------------------------
+
+    def insert(self, point: Sequence[float]) -> int:
+        if len(point) != self.dim:
+            raise ValueError(
+                f"point has dimension {len(point)}, expected {self.dim}"
+            )
+        pid = self._next_id
+        self._next_id += 1
+        self._points[pid] = tuple(float(x) for x in point)
+        self._cache = None
+        return pid
+
+    def delete(self, pid: int) -> None:
+        del self._points[pid]
+        self._cache = None
+
+    # ------------------------------------------------------------------
+    # Queries: recompute when dirty
+    # ------------------------------------------------------------------
+
+    def _refresh(self) -> StaticClustering:
+        if self._cache is None:
+            self._cache_keys = sorted(self._points)
+            self._cache = dbscan_grid(
+                [self._points[k] for k in self._cache_keys], self.eps, self.minpts
+            )
+            self.recomputations += 1
+        return self._cache
+
+    def is_core(self, pid: int) -> bool:
+        ref = self._refresh()
+        return self._cache_keys.index(pid) in ref.core
+
+    def cgroup_by(self, pids: Iterable[int]) -> CGroupByResult:
+        ref = self._refresh()
+        position = {k: i for i, k in enumerate(self._cache_keys)}
+        groups: Dict[int, List[int]] = {}
+        noise: List[int] = []
+        for pid in pids:
+            if pid not in self._points:
+                raise KeyError(f"point id {pid} is not live")
+            idx = position[pid]
+            memberships = [
+                ci for ci, cluster in enumerate(ref.clusters) if idx in cluster
+            ]
+            if not memberships:
+                noise.append(pid)
+            for ci in memberships:
+                groups.setdefault(ci, []).append(pid)
+        return CGroupByResult(groups=list(groups.values()), noise=noise)
+
+    def clusters(self) -> Clustering:
+        ref = self._refresh()
+        back = dict(enumerate(self._cache_keys))
+        return Clustering(
+            clusters=[{back[i] for i in c} for c in ref.clusters],
+            noise={back[i] for i in ref.noise},
+        )
+
+    def same_cluster(self, pid_a: int, pid_b: int) -> bool:
+        ref = self._refresh()
+        position = {k: i for i, k in enumerate(self._cache_keys)}
+        a, b = position[pid_a], position[pid_b]
+        return any(a in c and b in c for c in ref.clusters)

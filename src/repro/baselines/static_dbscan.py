@@ -1,0 +1,166 @@
+"""Static exact DBSCAN (Ester et al. 1996) — the correctness oracle.
+
+Two interchangeable implementations of the unique exact clustering:
+
+* :func:`dbscan_brute` — O(n^2), no index, the simplest possible statement
+  of the definition; trusted reference for everything else.
+* :func:`dbscan_grid` — the grid-accelerated version (cells of side
+  eps/sqrt(d), candidate neighbors from close cells only); used when the
+  tests need a faster oracle.
+
+Both return a :class:`StaticClustering` with clusters as sets of input
+indices, the core-point set, and the noise set.  Non-core (border) points
+may appear in several clusters, exactly as the paper defines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.connectivity.union_find import UnionFind
+from repro.core.grid import Grid
+from repro.geometry.points import sq_dist
+
+
+@dataclass
+class StaticClustering:
+    """A concrete clustering over points addressed by input index."""
+
+    clusters: List[Set[int]] = field(default_factory=list)
+    core: Set[int] = field(default_factory=set)
+    noise: Set[int] = field(default_factory=set)
+
+    def canonical(self) -> FrozenSet[FrozenSet[int]]:
+        """Order-independent form for equality comparisons."""
+        return frozenset(frozenset(c) for c in self.clusters)
+
+    def cluster_of_core(self, idx: int) -> Set[int]:
+        """The unique cluster containing a core point."""
+        for cluster in self.clusters:
+            if idx in cluster:
+                return cluster
+        raise KeyError(f"index {idx} is not in any cluster")
+
+    def memberships(self, idx: int) -> List[int]:
+        """Indices of all clusters containing the point."""
+        return [i for i, c in enumerate(self.clusters) if idx in c]
+
+
+def _assemble(
+    n: int,
+    core: Set[int],
+    core_uf: UnionFind,
+    border_links: Dict[int, Set[int]],
+) -> StaticClustering:
+    """Build clusters from the core partition plus border attachments.
+
+    ``border_links[p]`` holds, for non-core ``p``, the core points within
+    the attachment radius.
+    """
+    by_root: Dict[object, Set[int]] = {}
+    for idx in core:
+        by_root.setdefault(core_uf.find(idx), set()).add(idx)
+    clusters = list(by_root.values())
+    root_index = {core_uf.find(next(iter(c))): i for i, c in enumerate(clusters)}
+    noise: Set[int] = set()
+    for idx in range(n):
+        if idx in core:
+            continue
+        anchors = border_links.get(idx, set())
+        if not anchors:
+            noise.add(idx)
+            continue
+        for anchor in {core_uf.find(a) for a in anchors}:
+            clusters[root_index[anchor]].add(idx)
+    return StaticClustering(clusters=clusters, core=core, noise=noise)
+
+
+def dbscan_brute(
+    points: Sequence[Sequence[float]], eps: float, minpts: int
+) -> StaticClustering:
+    """Exact DBSCAN by definition, O(n^2)."""
+    n = len(points)
+    sq_eps = eps * eps
+    neighbor_counts = [0] * n
+    pairs: List[Tuple[int, int]] = []
+    for i in range(n):
+        neighbor_counts[i] += 1  # the point itself
+        for j in range(i + 1, n):
+            if sq_dist(points[i], points[j]) <= sq_eps:
+                neighbor_counts[i] += 1
+                neighbor_counts[j] += 1
+                pairs.append((i, j))
+    core = {i for i in range(n) if neighbor_counts[i] >= minpts}
+    uf = UnionFind()
+    for i in core:
+        uf.add(i)
+    border_links: Dict[int, Set[int]] = {}
+    for i, j in pairs:
+        i_core = i in core
+        j_core = j in core
+        if i_core and j_core:
+            uf.union(i, j)
+        elif i_core:
+            border_links.setdefault(j, set()).add(i)
+        elif j_core:
+            border_links.setdefault(i, set()).add(j)
+    return _assemble(n, core, uf, border_links)
+
+
+def dbscan_grid(
+    points: Sequence[Sequence[float]], eps: float, minpts: int
+) -> StaticClustering:
+    """Exact DBSCAN accelerated with the paper's grid (same output)."""
+    n = len(points)
+    if n == 0:
+        return StaticClustering()
+    dim = len(points[0])
+    grid = Grid(eps, dim, rho=0.0)
+    sq_eps = eps * eps
+    cells: Dict[tuple, List[int]] = {}
+    for idx, p in enumerate(points):
+        cells.setdefault(grid.cell_of(p), []).append(idx)
+    neighbor_cells: Dict[tuple, List[tuple]] = {
+        cell: grid.neighbors_of(cell, cells) for cell in cells
+    }
+
+    def candidates(cell: tuple):
+        yield from cells[cell]
+        for other in neighbor_cells[cell]:
+            yield from cells[other]
+
+    core: Set[int] = set()
+    for cell, members in cells.items():
+        if len(members) >= minpts:
+            core.update(members)
+            continue
+        for idx in members:
+            p = points[idx]
+            count = 0
+            for j in candidates(cell):
+                if sq_dist(p, points[j]) <= sq_eps:
+                    count += 1
+                    if count >= minpts:
+                        break
+            if count >= minpts:
+                core.add(idx)
+
+    uf = UnionFind()
+    for idx in core:
+        uf.add(idx)
+    border_links: Dict[int, Set[int]] = {}
+    for cell, members in cells.items():
+        for idx in members:
+            p = points[idx]
+            idx_core = idx in core
+            for j in candidates(cell):
+                if j == idx:
+                    continue
+                if sq_dist(p, points[j]) > sq_eps:
+                    continue
+                if idx_core and j in core:
+                    uf.union(idx, j)
+                elif not idx_core and j in core:
+                    border_links.setdefault(idx, set()).add(j)
+    return _assemble(n, core, uf, border_links)

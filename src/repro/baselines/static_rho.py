@@ -1,0 +1,61 @@
+"""Static rho-approximate DBSCAN (Gan & Tao, SIGMOD 2015).
+
+The approximate semantics admit many legal outputs.  This module computes
+one *canonical legal instantiation*: every "don't care" is resolved
+**positively** —
+
+* core graph edges exist between core points within ``(1+rho) * eps``
+  (mandatory edges at ``<= eps`` are a subset, so the CC requirement holds);
+* a border point joins every cluster with a core point within
+  ``(1+rho) * eps`` (mandatory attachments at ``<= eps`` are a subset).
+
+Core status itself is exact (``|B(p, eps)| >= MinPts``), per the
+rho-approximate definition.  The result is therefore exact-DBSCAN core
+points with ``(1+rho) eps`` connectivity — the upper edge of the sandwich
+for the *approximate* (not double-approximate) semantics, and a useful
+fixture for validation tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.baselines.static_dbscan import StaticClustering, _assemble
+from repro.connectivity.union_find import UnionFind
+from repro.geometry.points import sq_dist
+
+
+def rho_dbscan_static(
+    points: Sequence[Sequence[float]], eps: float, minpts: int, rho: float
+) -> StaticClustering:
+    """One legal rho-approximate DBSCAN clustering (don't-cares = yes)."""
+    n = len(points)
+    sq_eps = eps * eps
+    relaxed = eps * (1.0 + rho)
+    sq_relaxed = relaxed * relaxed
+    counts = [0] * n
+    near_pairs: List[tuple] = []  # pairs within the relaxed radius
+    for i in range(n):
+        counts[i] += 1
+        for j in range(i + 1, n):
+            d2 = sq_dist(points[i], points[j])
+            if d2 <= sq_eps:
+                counts[i] += 1
+                counts[j] += 1
+            if d2 <= sq_relaxed:
+                near_pairs.append((i, j))
+    core = {i for i in range(n) if counts[i] >= minpts}
+    uf = UnionFind()
+    for i in core:
+        uf.add(i)
+    border_links: Dict[int, Set[int]] = {}
+    for i, j in near_pairs:
+        i_core = i in core
+        j_core = j in core
+        if i_core and j_core:
+            uf.union(i, j)
+        elif i_core:
+            border_links.setdefault(j, set()).add(i)
+        elif j_core:
+            border_links.setdefault(i, set()).add(j)
+    return _assemble(n, core, uf, border_links)

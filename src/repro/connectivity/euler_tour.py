@@ -1,0 +1,364 @@
+"""Euler-tour trees over randomized treaps with parent pointers.
+
+An Euler-tour tree (ETT) represents each tree of a forest as the cyclic
+Euler tour of its edges, stored as a balanced binary tree keyed by tour
+position.  We use the representation in which the tour contains
+
+* one **self-arc** node per vertex (also serving as the vertex's handle), and
+* two **arc** nodes per tree edge (u, v): one for each direction.
+
+``link`` and ``cut`` then reduce to O(log n) splits and merges.  Each node
+carries the aggregate bits the HDT connectivity structure needs:
+
+* ``flag_nontree`` (self-arcs): the vertex has non-tree edges at this level;
+* ``flag_level`` (arcs): the tree edge has level exactly this forest's level;
+
+with subtree ORs maintained bottom-up, so HDT can find a flagged node inside
+any subtree in O(log n).
+
+The forest is generic over hashable vertex labels.  One ``EulerTourForest``
+instance is one level of the HDT hierarchy (or a standalone dynamic forest).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+
+class EttNode:
+    """A single position of an Euler tour (self-arc or directed arc)."""
+
+    __slots__ = (
+        "prio",
+        "left",
+        "right",
+        "parent",
+        "count",
+        "vcount",
+        "vertex",
+        "edge",
+        "flag_nontree",
+        "flag_level",
+        "sub_nontree",
+        "sub_level",
+    )
+
+    def __init__(
+        self,
+        rng: random.Random,
+        vertex: Optional[Hashable] = None,
+        edge: Optional[Tuple[Hashable, Hashable]] = None,
+    ) -> None:
+        self.prio = rng.random()
+        self.left: Optional[EttNode] = None
+        self.right: Optional[EttNode] = None
+        self.parent: Optional[EttNode] = None
+        self.count = 1  # total nodes in subtree
+        self.vcount = 1 if vertex is not None else 0  # self-arcs in subtree
+        self.vertex = vertex  # set iff self-arc
+        self.edge = edge  # set iff directed arc (u, v)
+        self.flag_nontree = False
+        self.flag_level = False
+        self.sub_nontree = False
+        self.sub_level = False
+
+    def pull(self) -> None:
+        """Recompute aggregates from children (local)."""
+        count = 1
+        vcount = 1 if self.vertex is not None else 0
+        nontree = self.flag_nontree
+        level = self.flag_level
+        left = self.left
+        if left is not None:
+            count += left.count
+            vcount += left.vcount
+            nontree = nontree or left.sub_nontree
+            level = level or left.sub_level
+        right = self.right
+        if right is not None:
+            count += right.count
+            vcount += right.vcount
+            nontree = nontree or right.sub_nontree
+            level = level or right.sub_level
+        self.count = count
+        self.vcount = vcount
+        self.sub_nontree = nontree
+        self.sub_level = level
+
+    def pull_up(self) -> None:
+        """Recompute aggregates on the path from this node to the root."""
+        node: Optional[EttNode] = self
+        while node is not None:
+            node.pull()
+            node = node.parent
+
+    def root(self) -> "EttNode":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+
+def _merge(a: Optional[EttNode], b: Optional[EttNode]) -> Optional[EttNode]:
+    """Concatenate two treaps (all of ``a`` before all of ``b``)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.prio > b.prio:
+        right = _merge(a.right, b)
+        a.right = right
+        if right is not None:
+            right.parent = a
+        a.pull()
+        a.parent = None
+        return a
+    left = _merge(a, b.left)
+    b.left = left
+    if left is not None:
+        left.parent = b
+    b.pull()
+    b.parent = None
+    return b
+
+
+def _detach_child(parent: EttNode, child: EttNode) -> None:
+    if parent.left is child:
+        parent.left = None
+    else:
+        parent.right = None
+    child.parent = None
+
+
+def _split(x: EttNode, after: bool) -> Tuple[Optional[EttNode], Optional[EttNode]]:
+    """Split the treap containing ``x`` into (prefix, suffix).
+
+    With ``after=True`` the prefix ends at ``x``; with ``after=False`` the
+    suffix begins at ``x``.
+    """
+    if after:
+        left: Optional[EttNode] = x
+        right = x.right
+        if right is not None:
+            right.parent = None
+            x.right = None
+            x.pull()
+    else:
+        left = x.left
+        right = x
+        if left is not None:
+            left.parent = None
+            x.left = None
+            x.pull()
+    # Fold ancestors into the two sides, walking up from x.
+    node = x
+    parent = node.parent
+    if parent is not None:
+        came_from_left = parent.left is node
+        _detach_child(parent, node)
+    while parent is not None:
+        grand = parent.parent
+        if grand is not None:
+            next_from_left = grand.left is parent
+            _detach_child(grand, parent)
+        else:
+            next_from_left = False
+        if came_from_left:
+            # parent (and its right subtree) come after x's side.
+            parent.left = None
+            parent.pull()
+            right = _merge(right, parent)
+        else:
+            parent.right = None
+            parent.pull()
+            left = _merge(parent, left)
+        node = parent
+        parent = grand
+        came_from_left = next_from_left
+    if left is not None:
+        left.parent = None
+    if right is not None:
+        right.parent = None
+    return left, right
+
+
+def _position(x: EttNode) -> int:
+    """In-order index of ``x`` within its treap (0-based)."""
+    pos = x.left.count if x.left is not None else 0
+    node = x
+    parent = node.parent
+    while parent is not None:
+        if parent.right is node:
+            pos += 1 + (parent.left.count if parent.left is not None else 0)
+        node = parent
+        parent = node.parent
+    return pos
+
+
+class EulerTourForest:
+    """A dynamic forest over hashable vertices with ETT representation."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+        self._vnode: Dict[Hashable, EttNode] = {}
+        # Arcs of the *tree edges currently in this forest*:
+        self._arcs: Dict[Tuple[Hashable, Hashable], EttNode] = {}
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+
+    def __contains__(self, v: Hashable) -> bool:
+        return v in self._vnode
+
+    def vertices(self) -> Iterator[Hashable]:
+        return iter(self._vnode)
+
+    def vertex_node(self, v: Hashable) -> EttNode:
+        return self._vnode[v]
+
+    def ensure_vertex(self, v: Hashable) -> EttNode:
+        """Register ``v`` (as an isolated singleton tour) if unseen."""
+        node = self._vnode.get(v)
+        if node is None:
+            node = EttNode(self._rng, vertex=v)
+            self._vnode[v] = node
+        return node
+
+    def remove_vertex(self, v: Hashable) -> None:
+        """Remove an isolated vertex (raises if it has tree edges)."""
+        node = self._vnode[v]
+        if node.root().count != 1:
+            raise ValueError(f"vertex {v!r} is not isolated in this forest")
+        del self._vnode[v]
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def find_root(self, v: Hashable) -> EttNode:
+        """Treap root of the tour containing ``v`` (canonical per tree)."""
+        return self._vnode[v].root()
+
+    def connected(self, u: Hashable, v: Hashable) -> bool:
+        return self.find_root(u) is self.find_root(v)
+
+    def tree_size(self, v: Hashable) -> int:
+        """Number of vertices in the tree containing ``v``."""
+        return self.find_root(v).vcount
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        return (u, v) in self._arcs
+
+    def tour_vertices(self, v: Hashable) -> List[Hashable]:
+        """All vertices in the tree containing ``v`` (in tour order)."""
+        result: List[Hashable] = []
+        stack = [self.find_root(v)]
+        while stack:
+            node = stack.pop()
+            if node.vertex is not None:
+                result.append(node.vertex)
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return result
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def _reroot(self, v: Hashable) -> EttNode:
+        """Rotate the tour of ``v``'s tree to start at ``v``'s self-arc."""
+        x = self._vnode[v]
+        before, rest = _split(x, after=False)
+        return _merge(rest, before)  # type: ignore[return-value]
+
+    def link(self, u: Hashable, v: Hashable) -> None:
+        """Add tree edge (u, v); the endpoints must be disconnected."""
+        if (u, v) in self._arcs or (v, u) in self._arcs:
+            raise KeyError(f"edge ({u!r}, {v!r}) already in forest")
+        nu = self.ensure_vertex(u)
+        nv = self.ensure_vertex(v)
+        if nu.root() is nv.root():
+            raise ValueError(f"link({u!r}, {v!r}): endpoints already connected")
+        tour_u = self._reroot(u)
+        tour_v = self._reroot(v)
+        arc_uv = EttNode(self._rng, edge=(u, v))
+        arc_vu = EttNode(self._rng, edge=(v, u))
+        self._arcs[(u, v)] = arc_uv
+        self._arcs[(v, u)] = arc_vu
+        _merge(_merge(_merge(tour_u, arc_uv), tour_v), arc_vu)
+
+    def cut(self, u: Hashable, v: Hashable) -> None:
+        """Remove tree edge (u, v), splitting its tree in two."""
+        a1 = self._arcs.pop((u, v), None)
+        if a1 is None:
+            u, v = v, u
+            a1 = self._arcs.pop((u, v), None)
+            if a1 is None:
+                raise KeyError(f"edge ({u!r}, {v!r}) not in forest")
+        a2 = self._arcs.pop((v, u))
+        if _position(a1) > _position(a2):
+            a1, a2 = a2, a1
+        outer_left, rest = _split(a1, after=False)
+        middle, outer_right = _split(a2, after=True)
+        # middle = a1 ... a2; strip the two arc nodes off its ends.
+        _, inner = _split(a1, after=True)
+        if inner is not None:
+            inner2, _ = _split(a2, after=False)
+        _merge(outer_left, outer_right)
+
+    # ------------------------------------------------------------------
+    # HDT flag support
+    # ------------------------------------------------------------------
+
+    def set_nontree_flag(self, v: Hashable, value: bool) -> None:
+        """Mark whether vertex ``v`` has non-tree edges at this level."""
+        node = self.ensure_vertex(v)
+        if node.flag_nontree != value:
+            node.flag_nontree = value
+            node.pull_up()
+
+    def set_level_flag(self, u: Hashable, v: Hashable, value: bool) -> None:
+        """Mark whether tree edge (u, v) has level == this forest's level.
+
+        The flag is applied to both directed arcs, so callers may use
+        either endpoint order to set or clear it.
+        """
+        arc = self._arcs.get((u, v))
+        if arc is None:
+            raise KeyError(f"edge ({u!r}, {v!r}) not in forest")
+        for node in (arc, self._arcs[(v, u)]):
+            if node.flag_level != value:
+                node.flag_level = value
+                node.pull_up()
+
+    def find_nontree_vertex(self, root: EttNode) -> Optional[Hashable]:
+        """Some vertex with the non-tree flag inside the given tree."""
+        if not root.sub_nontree:
+            return None
+        node = root
+        while True:
+            if node.flag_nontree:
+                return node.vertex
+            if node.left is not None and node.left.sub_nontree:
+                node = node.left
+            else:
+                assert node.right is not None
+                node = node.right
+
+    def find_level_edge(self, root: EttNode) -> Optional[Tuple[Hashable, Hashable]]:
+        """Some tree edge flagged level == this forest, inside the tree."""
+        if not root.sub_level:
+            return None
+        node = root
+        while True:
+            if node.flag_level:
+                return node.edge
+            if node.left is not None and node.left.sub_level:
+                node = node.left
+            else:
+                assert node.right is not None
+                node = node.right

@@ -1,0 +1,223 @@
+"""Fully-dynamic connectivity of Holm, de Lichtenberg & Thorup (JACM 2001).
+
+This is the CC structure the paper plugs into Theorem 4: ``EdgeInsert``,
+``EdgeRemove`` and ``CC-Id`` all in O(log^2 n) amortized.
+
+The classic construction: every edge carries a *level* >= 0.  Forest ``F_i``
+is a spanning forest of the subgraph of edges with level >= i, and
+``F_0 ⊇ F_1 ⊇ ...``.  Inserted edges start at level 0 (tree edge if the
+endpoints were disconnected, non-tree otherwise).  Deleting a tree edge of
+level ``l`` cuts it from ``F_0..F_l`` and searches levels ``l .. 0`` for a
+replacement: at level ``i`` the smaller half ``T_v`` first has its level-i
+tree edges pushed to level ``i+1`` (amortization), then its incident level-i
+non-tree edges are scanned — an edge leaving ``T_v`` reconnects the forest,
+an edge staying inside is promoted to level ``i+1``.  Pushing only the
+smaller half keeps every level-``i`` component at <= n / 2^i vertices, so
+levels stay O(log n) without any explicit cap.
+
+Vertices are arbitrary hashable labels (the clusterer uses grid-cell
+coordinate tuples).  Component ids are the identities of level-0 ETT roots:
+stable between structural changes, which is exactly the consistency the
+C-group-by query needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterator, List, Optional, Set, Tuple
+
+from repro.connectivity.euler_tour import EulerTourForest
+
+
+def _key(u: Hashable, v: Hashable) -> FrozenSet[Hashable]:
+    return frozenset((u, v))
+
+
+class HDTConnectivity:
+    """Poly-log fully-dynamic connectivity over hashable vertices."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._seed = seed
+        self._forests: List[EulerTourForest] = [EulerTourForest(seed)]
+        self._edge_level: Dict[FrozenSet[Hashable], int] = {}
+        self._is_tree: Dict[FrozenSet[Hashable], bool] = {}
+        # Non-tree adjacency: vertex -> level -> neighbor set.
+        self._adj: Dict[Hashable, List[Set[Hashable]]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __contains__(self, v: Hashable) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def vertices(self) -> Iterator[Hashable]:
+        return iter(self._adj)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edge_level)
+
+    @property
+    def level_count(self) -> int:
+        return len(self._forests)
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        return _key(u, v) in self._edge_level
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, v: Hashable) -> None:
+        if v in self._adj:
+            raise KeyError(f"vertex {v!r} already present")
+        self._adj[v] = []
+        self._forests[0].ensure_vertex(v)
+
+    def remove_vertex(self, v: Hashable) -> None:
+        """Remove an isolated vertex (raises if it still has edges)."""
+        if any(self._adj[v]):
+            raise ValueError(f"vertex {v!r} still has non-tree edges")
+        for forest in self._forests:
+            if v in forest:
+                forest.remove_vertex(v)  # raises if it has tree edges
+        del self._adj[v]
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def insert_edge(self, u: Hashable, v: Hashable) -> None:
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        key = _key(u, v)
+        if key in self._edge_level:
+            raise KeyError(f"edge ({u!r}, {v!r}) already present")
+        if u not in self._adj:
+            self.add_vertex(u)
+        if v not in self._adj:
+            self.add_vertex(v)
+        self._edge_level[key] = 0
+        forest = self._forests[0]
+        if not forest.connected(u, v):
+            self._is_tree[key] = True
+            forest.link(u, v)
+            forest.set_level_flag(u, v, True)
+        else:
+            self._is_tree[key] = False
+            self._nontree_add(u, v, 0)
+
+    def delete_edge(self, u: Hashable, v: Hashable) -> None:
+        key = _key(u, v)
+        level = self._edge_level.pop(key, None)
+        if level is None:
+            raise KeyError(f"edge ({u!r}, {v!r}) not present")
+        if not self._is_tree.pop(key):
+            self._nontree_remove(u, v, level)
+            return
+        for i in range(level + 1):
+            self._forests[i].cut(u, v)
+        for i in range(level, -1, -1):
+            if self._replace(u, v, i):
+                return
+
+    def connected(self, u: Hashable, v: Hashable) -> bool:
+        return self._forests[0].connected(u, v)
+
+    def component_id(self, v: Hashable) -> int:
+        """Component id, stable until the next structural change."""
+        return id(self._forests[0].find_root(v))
+
+    def component_size(self, v: Hashable) -> int:
+        return self._forests[0].tree_size(v)
+
+    def component_vertices(self, v: Hashable) -> List[Hashable]:
+        return self._forests[0].tour_vertices(v)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _forest(self, i: int) -> EulerTourForest:
+        while len(self._forests) <= i:
+            self._forests.append(EulerTourForest(self._seed))
+        return self._forests[i]
+
+    def _adj_level(self, v: Hashable, i: int) -> Set[Hashable]:
+        levels = self._adj[v]
+        while len(levels) <= i:
+            levels.append(set())
+        return levels[i]
+
+    def _nontree_add(self, u: Hashable, v: Hashable, i: int) -> None:
+        forest = self._forest(i)
+        for a, b in ((u, v), (v, u)):
+            nbrs = self._adj_level(a, i)
+            nbrs.add(b)
+            if len(nbrs) == 1:
+                forest.set_nontree_flag(a, True)
+
+    def _nontree_remove(self, u: Hashable, v: Hashable, i: int) -> None:
+        forest = self._forests[i]
+        for a, b in ((u, v), (v, u)):
+            nbrs = self._adj[a][i]
+            nbrs.discard(b)
+            if not nbrs:
+                forest.set_nontree_flag(a, False)
+
+    def _replace(self, u: Hashable, v: Hashable, i: int) -> bool:
+        """Search level ``i`` for a replacement of deleted tree edge (u,v).
+
+        Returns True if the two halves were reconnected.
+        """
+        forest = self._forests[i]
+        root_u = forest.find_root(u)
+        root_v = forest.find_root(v)
+        if root_u.vcount <= root_v.vcount:
+            small_root = root_u
+        else:
+            small_root = root_v
+
+        # Amortization step: push the small side's level-i tree edges up.
+        while True:
+            edge = forest.find_level_edge(small_root)
+            if edge is None:
+                break
+            x, y = edge
+            forest.set_level_flag(x, y, False)
+            upper = self._forest(i + 1)
+            upper.ensure_vertex(x)
+            upper.ensure_vertex(y)
+            upper.link(x, y)
+            upper.set_level_flag(x, y, True)
+            self._edge_level[_key(x, y)] = i + 1
+
+        # Scan level-i non-tree edges incident to the small side.
+        while True:
+            x = forest.find_nontree_vertex(small_root)
+            if x is None:
+                return False
+            nbrs = self._adj[x][i]
+            while nbrs:
+                y = next(iter(nbrs))
+                if forest.find_root(y) is small_root:
+                    # Both endpoints inside the small side: promote.
+                    self._nontree_remove(x, y, i)
+                    self._nontree_add(x, y, i + 1)
+                    self._edge_level[_key(x, y)] = i + 1
+                else:
+                    # Crosses the split: this is the replacement edge.
+                    self._nontree_remove(x, y, i)
+                    key = _key(x, y)
+                    self._is_tree[key] = True
+                    self._edge_level[key] = i
+                    for j in range(i + 1):
+                        lower = self._forest(j)
+                        lower.ensure_vertex(x)
+                        lower.ensure_vertex(y)
+                        lower.link(x, y)
+                    self._forests[i].set_level_flag(x, y, True)
+                    return True

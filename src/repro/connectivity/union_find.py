@@ -1,0 +1,76 @@
+"""Disjoint-set forest (Tarjan) over arbitrary hashable items.
+
+This is the semi-dynamic CC structure of the paper's Theorem 1 proof: it
+supports ``EdgeInsert`` (union) and ``CC-Id`` (find) in inverse-Ackermann
+amortized time, but no edge removal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator
+
+
+class UnionFind:
+    """Union-find with union by rank and full path compression.
+
+    Items are registered lazily: ``find``/``union`` on an unseen item
+    creates a singleton set for it.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._components = 0
+
+    def __len__(self) -> int:
+        """Number of registered items."""
+        return len(self._parent)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def items(self) -> Iterator[Hashable]:
+        return iter(self._parent)
+
+    @property
+    def component_count(self) -> int:
+        """Number of disjoint sets among registered items."""
+        return self._components
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as a singleton if unseen (no-op otherwise)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+            self._components += 1
+
+    def find(self, item: Hashable) -> Hashable:
+        """Canonical representative of ``item``'s set (the CC id)."""
+        parent = self._parent
+        if item not in parent:
+            self.add(item)
+            return item
+        root = item
+        while parent[root] is not root:
+            root = parent[root]
+        while parent[item] is not root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; True if they were distinct."""
+        ra = self.find(a)
+        rb = self.find(b)
+        if ra is rb or ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._components -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether ``a`` and ``b`` are currently in the same set."""
+        return self.find(a) == self.find(b)

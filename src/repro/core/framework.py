@@ -1,0 +1,223 @@
+"""The grid-graph framework shared by all dynamic clusterers (Section 4).
+
+:class:`GridClusterer` owns the point store, the grid, the non-empty-cell
+registry with cached neighbor lists, and the C-group-by query algorithm of
+Section 4.2.  Subclasses provide the update algorithms (core-status
+structure + GUM + CC structure): :class:`repro.core.semidynamic.
+SemiDynamicClusterer` for insert-only workloads (Theorem 1) and
+:class:`repro.core.fullydynamic.FullyDynamicClusterer` for fully-dynamic
+ones (Theorem 4).  Exact DBSCAN is obtained with ``rho = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.grid import Cell, Grid
+from repro.geometry.points import Point, sq_dist
+
+
+@dataclass
+class CGroupByResult:
+    """Result of a C-group-by query: ``Q`` broken by cluster membership.
+
+    ``groups[i]`` lists the queried point ids that fall in the i-th reported
+    cluster; a non-core point may appear in several groups.  ``noise`` lists
+    queried points that belong to no cluster.
+    """
+
+    groups: List[List[int]] = field(default_factory=list)
+    noise: List[int] = field(default_factory=list)
+
+    def group_sets(self) -> List[Set[int]]:
+        return [set(g) for g in self.groups]
+
+    def memberships(self) -> Dict[int, int]:
+        """Number of groups containing each queried point id."""
+        counts: Dict[int, int] = {pid: 0 for pid in self.noise}
+        for group in self.groups:
+            for pid in group:
+                counts[pid] = counts.get(pid, 0) + 1
+        return counts
+
+
+@dataclass
+class Clustering:
+    """Full clustering of the current dataset (``Q = P``)."""
+
+    clusters: List[Set[int]] = field(default_factory=list)
+    noise: Set[int] = field(default_factory=set)
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self.clusters)
+
+
+class GridClusterer:
+    """Common state and the shared C-group-by query algorithm.
+
+    Subclasses must maintain, per non-empty cell, an object exposing
+    ``points`` (dict id -> point), ``core`` (set of core ids),
+    ``emptiness`` (an EmptinessStructure over the core ids, or None) and
+    ``neighbors`` (set of close non-empty cells), and must implement
+    ``_cc_id`` plus the update entry points.
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        minpts: int,
+        rho: float = 0.0,
+        dim: int = 2,
+        strategy: str = "auto",
+    ) -> None:
+        if minpts < 1:
+            raise ValueError(f"minpts must be >= 1, got {minpts}")
+        self.eps = eps
+        self.minpts = minpts
+        self.rho = rho
+        self.dim = dim
+        self._grid = Grid(eps, dim, rho, strategy)
+        self._sq_eps = eps * eps
+        relaxed = eps * (1.0 + rho)
+        self._sq_relaxed = relaxed * relaxed
+        self._points: Dict[int, Point] = {}
+        self._cells: Dict[Cell, object] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Point store
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._points
+
+    def point(self, pid: int) -> Point:
+        """Coordinates of a stored point id."""
+        return self._points[pid]
+
+    def ids(self) -> Iterable[int]:
+        """All live point ids."""
+        return self._points.keys()
+
+    @property
+    def cell_count(self) -> int:
+        return len(self._cells)
+
+    def cell_of(self, pid: int) -> Cell:
+        return self._grid.cell_of(self._points[pid])
+
+    def _register_point(self, point: Sequence[float]) -> Tuple[int, Point]:
+        if len(point) != self.dim:
+            raise ValueError(
+                f"point has dimension {len(point)}, clusterer expects {self.dim}"
+            )
+        pid = self._next_id
+        self._next_id += 1
+        pt = tuple(float(x) for x in point)
+        self._points[pid] = pt
+        return pid, pt
+
+    # ------------------------------------------------------------------
+    # Update interface (implemented by subclasses)
+    # ------------------------------------------------------------------
+
+    def insert(self, point: Sequence[float]) -> int:
+        """Insert a point; returns its id."""
+        raise NotImplementedError
+
+    def delete(self, pid: int) -> None:
+        """Delete a point by id."""
+        raise NotImplementedError
+
+    def is_core(self, pid: int) -> bool:
+        """Current core status of a live point (the core-status structure)."""
+        data = self._cells[self._grid.cell_of(self._points[pid])]
+        return pid in data.core  # type: ignore[attr-defined]
+
+    def _cc_id(self, cell: Cell) -> Hashable:
+        """CC id of a core cell (consistent between updates)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # C-group-by query (Section 4.2) — shared by all variants
+    # ------------------------------------------------------------------
+
+    def _cluster_ids_of(self, pid: int) -> List[Hashable]:
+        point = self._points[pid]
+        cell = self._grid.cell_of(point)
+        data = self._cells[cell]
+        if pid in data.core:  # type: ignore[attr-defined]
+            return [self._cc_id(cell)]
+        found: Set[Hashable] = set()
+        # A core point in q's own cell is within eps automatically.
+        if data.core:  # type: ignore[attr-defined]
+            found.add(self._cc_id(cell))
+        for other in data.neighbors:  # type: ignore[attr-defined]
+            odata = self._cells[other]
+            if not odata.core:  # type: ignore[attr-defined]
+                continue
+            if odata.emptiness.empty(point) is not None:  # type: ignore[attr-defined]
+                found.add(self._cc_id(other))
+        return list(found)
+
+    def cgroup_by(self, pids: Iterable[int]) -> CGroupByResult:
+        """Group the queried ids by the clusters they belong to."""
+        groups: Dict[Hashable, List[int]] = {}
+        noise: List[int] = []
+        for pid in pids:
+            if pid not in self._points:
+                raise KeyError(f"point id {pid} is not live")
+            cids = self._cluster_ids_of(pid)
+            if not cids:
+                noise.append(pid)
+            for cid in cids:
+                groups.setdefault(cid, []).append(pid)
+        return CGroupByResult(groups=list(groups.values()), noise=noise)
+
+    def clusters(self) -> Clustering:
+        """Full clustering of the live dataset (a ``Q = P`` query)."""
+        result = self.cgroup_by(list(self._points.keys()))
+        return Clustering(
+            clusters=result.group_sets(), noise=set(result.noise)
+        )
+
+    def same_cluster(self, pid_a: int, pid_b: int) -> bool:
+        """Whether two live points share at least one cluster."""
+        a = set(self._cluster_ids_of(pid_a))
+        if not a:
+            return False
+        return bool(a.intersection(self._cluster_ids_of(pid_b)))
+
+    # ------------------------------------------------------------------
+    # Cell registry helpers
+    # ------------------------------------------------------------------
+
+    def _discover_neighbors(self, cell: Cell) -> Set[Cell]:
+        """Find close non-empty cells and link the caches both ways."""
+        neighbors = set(self._grid.neighbors_of(cell, self._cells))
+        for other in neighbors:
+            self._cells[other].neighbors.add(cell)  # type: ignore[attr-defined]
+        return neighbors
+
+    def _unlink_cell(self, cell: Cell) -> None:
+        data = self._cells.pop(cell)
+        for other in data.neighbors:  # type: ignore[attr-defined]
+            self._cells[other].neighbors.discard(cell)  # type: ignore[attr-defined]
+
+    def _exact_ball_count(self, point: Point, data: object) -> int:
+        """Exact |B(point, eps)| over the cell of ``data`` and its neighbors."""
+        sq_eps = self._sq_eps
+        count = 0
+        for qp in data.points.values():  # type: ignore[attr-defined]
+            if sq_dist(qp, point) <= sq_eps:
+                count += 1
+        for other in data.neighbors:  # type: ignore[attr-defined]
+            for qp in self._cells[other].points.values():  # type: ignore[attr-defined]
+                if sq_dist(qp, point) <= sq_eps:
+                    count += 1
+        return count

@@ -1,0 +1,258 @@
+"""Fully-dynamic rho-double-approximate DBSCAN — Theorem 4.
+
+Core status follows the *relaxed* definition of Section 6.2, decided by an
+approximate range count (``repro.geometry.range_count``): a point is core
+iff the count reaches ``MinPts``.  Dense cells short-circuit exactly as in
+the semi-dynamic case.
+
+Grid-graph edges are maintained by one aBCP instance (Lemma 3) per pair of
+close core cells: the edge exists exactly while the instance holds a
+witness pair.  The CC structure is pluggable — Holm–de Lichtenberg–Thorup
+dynamic connectivity by default (the paper's choice), or the naive BFS
+structure for ablation.
+
+Exact DBSCAN is the ``rho = 0`` instantiation — ``full_exact_2d`` below is
+the paper's *2d-Full-Exact*, and ``double_approx`` the paper's
+*Double-Approx*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence, Set, Tuple, Union
+
+from repro.connectivity.hdt import HDTConnectivity
+from repro.connectivity.naive import NaiveConnectivity
+from repro.core.abcp import ABCPInstance, RescanBCP, SuffixABCP, SIDE_A, SIDE_B
+from repro.core.framework import GridClusterer
+from repro.core.grid import Cell
+from repro.geometry.emptiness import EmptinessStructure
+from repro.geometry.points import Point
+from repro.geometry.range_count import ApproximateRangeCounter
+
+Connectivity = Union[HDTConnectivity, NaiveConnectivity]
+
+
+class _FullCell:
+    """State of one non-empty cell under the fully-dynamic algorithm."""
+
+    __slots__ = (
+        "points", "core", "noncore", "counter", "emptiness", "neighbors",
+        "abcp", "core_log",
+    )
+
+    def __init__(self, dim: int, eps: float, rho: float) -> None:
+        self.points: Dict[int, Point] = {}
+        self.core: Set[int] = set()
+        self.noncore: Set[int] = set()
+        self.counter = ApproximateRangeCounter(dim, eps, rho)
+        self.emptiness: Optional[EmptinessStructure] = None
+        self.neighbors: Set[Cell] = set()
+        # Close core cell -> (shared aBCP instance, this cell's side in it).
+        self.abcp: Dict[Cell, Tuple[ABCPInstance, int]] = {}
+        # Append-only promotion log (consumed by the SuffixABCP variant).
+        self.core_log: list = []
+
+
+class FullyDynamicClusterer(GridClusterer):
+    """Fully-dynamic rho-double-approximate DBSCAN (O~(1) amortized updates)."""
+
+    def __init__(
+        self,
+        eps: float,
+        minpts: int,
+        rho: float = 0.0,
+        dim: int = 2,
+        strategy: str = "auto",
+        connectivity: str = "hdt",
+        bcp: str = "abcp",
+    ) -> None:
+        super().__init__(eps, minpts, rho, dim, strategy)
+        if connectivity == "hdt":
+            self._conn: Connectivity = HDTConnectivity()
+        elif connectivity == "naive":
+            self._conn = NaiveConnectivity()
+        else:
+            raise ValueError(
+                f"connectivity must be 'hdt' or 'naive', got {connectivity!r}"
+            )
+        if bcp == "abcp":
+            self._make_bcp = lambda a, b: ABCPInstance(
+                a.emptiness, b.emptiness, self._coords
+            )
+        elif bcp == "rescan":
+            self._make_bcp = lambda a, b: RescanBCP(
+                a.emptiness, b.emptiness, self._coords
+            )
+        elif bcp == "suffix":
+            self._make_bcp = lambda a, b: SuffixABCP(
+                a.emptiness, b.emptiness, self._coords, a.core_log, b.core_log
+            )
+        else:
+            raise ValueError(
+                f"bcp must be 'abcp', 'rescan' or 'suffix', got {bcp!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Core-status structure (Section 7.3)
+    # ------------------------------------------------------------------
+
+    def _approx_count(self, point: Point, data: _FullCell) -> int:
+        """Approximate |B(point, eps)|, saturating at MinPts."""
+        minpts = self.minpts
+        count = data.counter.count(point, stop_at=minpts)
+        if count >= minpts:
+            return count
+        for other in data.neighbors:
+            odata: _FullCell = self._cells[other]  # type: ignore[assignment]
+            count += odata.counter.count(point, stop_at=minpts - count)
+            if count >= minpts:
+                return count
+        return count
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, point: Sequence[float]) -> int:
+        pid, pt = self._register_point(point)
+        cell = self._grid.cell_of(pt)
+        data: Optional[_FullCell] = self._cells.get(cell)  # type: ignore[assignment]
+        if data is None:
+            data = _FullCell(self.dim, self.eps, self.rho)
+            data.neighbors = self._discover_neighbors(cell)
+            self._cells[cell] = data
+        data.points[pid] = pt
+        data.counter.insert(pid, pt)
+        data.noncore.add(pid)
+
+        if len(data.points) >= self.minpts or self._approx_count(pt, data) >= self.minpts:
+            self._promote(pid, cell, data)
+
+        # The insertion can only create core points nearby; recheck them.
+        for other in (cell, *data.neighbors):
+            odata: _FullCell = self._cells[other]  # type: ignore[assignment]
+            if not odata.noncore:
+                continue
+            if len(odata.points) >= self.minpts:
+                for q in list(odata.noncore):
+                    self._promote(q, other, odata)
+            else:
+                for q in list(odata.noncore):
+                    if q == pid:
+                        continue
+                    if self._approx_count(odata.points[q], odata) >= self.minpts:
+                        self._promote(q, other, odata)
+        return pid
+
+    def delete(self, pid: int) -> None:
+        if pid not in self._points:
+            raise KeyError(f"point id {pid} is not live")
+        pt = self._points[pid]
+        cell = self._grid.cell_of(pt)
+        data: _FullCell = self._cells[cell]  # type: ignore[assignment]
+        was_core = pid in data.core
+        del data.points[pid]
+        data.counter.delete(pid)
+        if was_core:
+            self._demote(pid, cell, data)
+        else:
+            data.noncore.discard(pid)
+
+        # The deletion can only destroy core points nearby; recheck them.
+        for other in (cell, *data.neighbors):
+            odata: _FullCell = self._cells[other]  # type: ignore[assignment]
+            if len(odata.points) >= self.minpts or not odata.core:
+                continue
+            for q in list(odata.core):
+                if self._approx_count(odata.points[q], odata) < self.minpts:
+                    self._demote(q, other, odata)
+
+        if not data.points:
+            self._unlink_cell(cell)
+        del self._points[pid]
+
+    # ------------------------------------------------------------------
+    # GUM (Section 7.4)
+    # ------------------------------------------------------------------
+
+    def _coords(self, pid: int) -> Point:
+        return self._points[pid]
+
+    def _promote(self, pid: int, cell: Cell, data: _FullCell) -> None:
+        """Non-core -> core transition."""
+        data.noncore.discard(pid)
+        data.core.add(pid)
+        pt = data.points[pid]
+        if data.emptiness is None:
+            data.emptiness = EmptinessStructure(self.dim, self.eps, self.rho)
+        data.emptiness.insert(pid, pt)
+        data.core_log.append(pid)
+        if len(data.core) == 1:
+            # The cell just became a core cell: join the grid graph and
+            # open an aBCP instance against every close core cell.
+            self._conn.add_vertex(cell)
+            for other in data.neighbors:
+                odata: _FullCell = self._cells[other]  # type: ignore[assignment]
+                if not odata.core:
+                    continue
+                assert odata.emptiness is not None
+                instance = self._make_bcp(data, odata)
+                data.abcp[other] = (instance, SIDE_A)
+                odata.abcp[cell] = (instance, SIDE_B)
+                if instance.has_witness:
+                    self._conn.insert_edge(cell, other)
+        else:
+            for other, (instance, side) in data.abcp.items():
+                had = instance.has_witness
+                instance.insert(pid, side)
+                if instance.has_witness and not had:
+                    self._conn.insert_edge(cell, other)
+
+    def _demote(self, pid: int, cell: Cell, data: _FullCell) -> None:
+        """Core -> non-core transition (or core point leaving entirely)."""
+        data.core.discard(pid)
+        if pid in data.points:
+            data.noncore.add(pid)
+        assert data.emptiness is not None
+        data.emptiness.delete(pid)
+        if data.core:
+            for other, (instance, side) in data.abcp.items():
+                had = instance.has_witness
+                instance.delete(pid, side)
+                if had and not instance.has_witness:
+                    self._conn.delete_edge(cell, other)
+        else:
+            # The cell stopped being a core cell: tear down its instances.
+            for other, (instance, _side) in list(data.abcp.items()):
+                if instance.has_witness:
+                    self._conn.delete_edge(cell, other)
+                odata: _FullCell = self._cells[other]  # type: ignore[assignment]
+                odata.abcp.pop(cell, None)
+            data.abcp.clear()
+            self._conn.remove_vertex(cell)
+
+    # ------------------------------------------------------------------
+    # CC structure
+    # ------------------------------------------------------------------
+
+    def _cc_id(self, cell: Cell) -> Hashable:
+        return self._conn.component_id(cell)
+
+    @property
+    def grid_edge_count(self) -> int:
+        """Number of edges currently in the grid graph (for diagnostics)."""
+        return self._conn.edge_count
+
+
+def full_exact_2d(eps: float, minpts: int) -> FullyDynamicClusterer:
+    """The paper's *2d-Full-Exact* algorithm (exact DBSCAN, d = 2)."""
+    return FullyDynamicClusterer(eps, minpts, rho=0.0, dim=2)
+
+
+def double_approx(
+    eps: float, minpts: int, rho: float = 0.001, dim: int = 2, connectivity: str = "hdt"
+) -> FullyDynamicClusterer:
+    """The paper's *Double-Approx* algorithm (rho-double-approx, any d)."""
+    return FullyDynamicClusterer(
+        eps, minpts, rho=rho, dim=dim, connectivity=connectivity
+    )

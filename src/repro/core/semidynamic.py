@@ -1,0 +1,153 @@
+"""Semi-dynamic (insert-only) rho-approximate DBSCAN — Theorem 1.
+
+Core-status structure: every non-core point ``p`` carries a vicinity count
+``vincnt(p) = |B(p, eps)|``; it is promoted to core the moment the count
+reaches ``MinPts`` (Section 5).  Dense cells short-circuit: once a cell
+holds ``MinPts`` points, all of them are core (the cell's diameter is at
+most ``eps``).
+
+GUM: each promotion queries the close core cells without an edge; a proof
+point within ``(1+rho) eps`` yields a grid-graph edge.  Since edges are
+never removed, the CC structure is Tarjan's union-find.  A cheap
+optimization with identical output: cells already in the same component are
+skipped (an extra edge there cannot change any CC).
+
+Exact DBSCAN is the ``rho = 0`` instantiation — in particular
+``semi_exact_2d`` below is the paper's *2d-Semi-Exact* algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence, Set
+
+from repro.connectivity.union_find import UnionFind
+from repro.core.framework import GridClusterer
+from repro.core.grid import Cell
+from repro.geometry.emptiness import EmptinessStructure
+from repro.geometry.points import Point, sq_dist
+
+
+class _SemiCell:
+    """State of one non-empty cell under the semi-dynamic algorithm."""
+
+    __slots__ = ("points", "core", "noncore", "emptiness", "neighbors")
+
+    def __init__(self) -> None:
+        self.points: Dict[int, Point] = {}
+        self.core: Set[int] = set()
+        self.noncore: Set[int] = set()
+        self.emptiness: Optional[EmptinessStructure] = None
+        self.neighbors: Set[Cell] = set()
+
+
+class SemiDynamicClusterer(GridClusterer):
+    """Insert-only rho-approximate DBSCAN with O~(1) amortized insertion."""
+
+    def __init__(
+        self,
+        eps: float,
+        minpts: int,
+        rho: float = 0.0,
+        dim: int = 2,
+        strategy: str = "auto",
+    ) -> None:
+        super().__init__(eps, minpts, rho, dim, strategy)
+        self._uf = UnionFind()
+        self._vincnt: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, point: Sequence[float]) -> int:
+        pid, pt = self._register_point(point)
+        cell = self._grid.cell_of(pt)
+        data = self._cells.get(cell)
+        if data is None:
+            data = _SemiCell()
+            data.neighbors = self._discover_neighbors(cell)
+            self._cells[cell] = data
+        data.points[pid] = pt
+        data.noncore.add(pid)
+
+        if len(data.points) >= self.minpts:
+            # Dense cell: every point in it is definitely core.
+            for other_pid in list(data.noncore):
+                if other_pid != pid:
+                    self._promote(other_pid, cell, data)
+            self._promote(pid, cell, data)
+        else:
+            count = self._exact_ball_count(pt, data)
+            if count >= self.minpts:
+                self._promote(pid, cell, data)
+            else:
+                self._vincnt[pid] = count
+
+        # The new point raises the vicinity count of close non-core points.
+        self._bump_vicinity(pid, pt, cell, data)
+        return pid
+
+    def delete(self, pid: int) -> None:
+        raise NotImplementedError(
+            "the semi-dynamic algorithm is insert-only; use "
+            "FullyDynamicClusterer for workloads with deletions"
+        )
+
+    def vicinity_count(self, pid: int) -> Optional[int]:
+        """Current vincnt of a non-core point (None once promoted)."""
+        return self._vincnt.get(pid)
+
+    def _bump_vicinity(self, pid: int, pt: Point, cell: Cell, data: _SemiCell) -> None:
+        sq_eps = self._sq_eps
+        vincnt = self._vincnt
+        for other in (cell, *data.neighbors):
+            odata = self._cells[other] if other != cell else data
+            if not odata.noncore:
+                continue
+            for q in list(odata.noncore):
+                if q == pid:
+                    continue  # pid's own count came from the exact scan
+                if sq_dist(odata.points[q], pt) <= sq_eps:
+                    vincnt[q] += 1
+                    if vincnt[q] >= self.minpts:
+                        self._promote(q, other, odata)
+
+    def _promote(self, pid: int, cell: Cell, data: _SemiCell) -> None:
+        """Non-core -> core transition; feeds GUM (Section 5)."""
+        data.noncore.discard(pid)
+        data.core.add(pid)
+        self._vincnt.pop(pid, None)
+        if data.emptiness is None:
+            data.emptiness = EmptinessStructure(self.dim, self.eps, self.rho)
+        pt = data.points[pid]
+        data.emptiness.insert(pid, pt)
+        if len(data.core) == 1:
+            self._uf.add(cell)
+        for other in data.neighbors:
+            odata: _SemiCell = self._cells[other]  # type: ignore[assignment]
+            if not odata.core:
+                continue
+            if self._uf.connected(cell, other):
+                continue
+            assert odata.emptiness is not None
+            if odata.emptiness.empty(pt) is not None:
+                self._uf.union(cell, other)
+
+    # ------------------------------------------------------------------
+    # CC structure
+    # ------------------------------------------------------------------
+
+    def _cc_id(self, cell: Cell) -> Hashable:
+        return self._uf.find(cell)
+
+
+def semi_exact_2d(eps: float, minpts: int) -> SemiDynamicClusterer:
+    """The paper's *2d-Semi-Exact* algorithm (exact DBSCAN, d = 2)."""
+    return SemiDynamicClusterer(eps, minpts, rho=0.0, dim=2)
+
+
+def semi_approx(
+    eps: float, minpts: int, rho: float = 0.001, dim: int = 2
+) -> SemiDynamicClusterer:
+    """The paper's *Semi-Approx* algorithm (rho-approximate, any d)."""
+    return SemiDynamicClusterer(eps, minpts, rho=rho, dim=dim)

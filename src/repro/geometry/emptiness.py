@@ -1,0 +1,55 @@
+"""The rho-approximate epsilon-emptiness structure of Section 4.2.
+
+One instance guards the *core points* of a single grid cell.  Its
+``empty(q)`` query implements the paper's contract:
+
+* returns a **proof point id** (a core point within ``(1+rho) * eps`` of
+  ``q``) whenever the cell contains a core point within ``eps`` of ``q``;
+* returns ``None`` whenever no core point lies within ``(1+rho) * eps``;
+* may do either in between (the "don't care" band).
+
+With ``rho = 0`` the structure is exact, which is how the framework captures
+exact DBSCAN.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.geometry.kdtree import DynamicKDTree
+from repro.geometry.points import Point
+
+
+class EmptinessStructure:
+    """Dynamic approximate emptiness queries over one cell's core points."""
+
+    def __init__(self, dim: int, eps: float, rho: float) -> None:
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if rho < 0:
+            raise ValueError(f"rho must be non-negative, got {rho}")
+        self.eps = eps
+        self.rho = rho
+        self._sq_eps = eps * eps
+        relaxed = eps * (1.0 + rho)
+        self._sq_relaxed = relaxed * relaxed
+        self._tree = DynamicKDTree(dim)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._tree
+
+    def ids(self) -> Iterator[int]:
+        return self._tree.ids()
+
+    def insert(self, pid: int, point: Point) -> None:
+        self._tree.insert(pid, point)
+
+    def delete(self, pid: int) -> None:
+        self._tree.delete(pid)
+
+    def empty(self, q: Sequence[float]) -> Optional[int]:
+        """Emptiness query: proof point id, or ``None`` (see module doc)."""
+        return self._tree.find_within(q, self._sq_eps, self._sq_relaxed)

@@ -1,0 +1,321 @@
+"""A dynamic kd-tree with bucket leaves and periodic rebuilding.
+
+This is the workhorse behind the per-cell emptiness structures (Section 4.2
+of the paper) and the approximate range counter (Section 7.3).  The paper
+plugs in the structures of Arya et al. and Mount & Park; we substitute a
+kd-tree whose query procedures honour exactly the same *approximate
+contracts*, which is all the grid-graph framework requires (see DESIGN.md).
+
+Key operations:
+
+* ``insert(pid, point)`` / ``delete(pid)`` — O(log n) expected amortized,
+  with full rebuilds once enough deletions have accumulated.
+* ``find_within(q, sq_eps, sq_relaxed)`` — returns the id of *some* point at
+  squared distance <= ``sq_relaxed`` whenever a point at squared distance
+  <= ``sq_eps`` exists; may return ``None`` otherwise.  Subtrees whose
+  bounding box is farther than ``sq_eps`` are pruned, and the search stops
+  at the first point within ``sq_relaxed`` — this is what makes the
+  (1+rho)-slack genuinely cheaper than an exact search.
+* ``count_fuzzy(q, sq_eps, sq_relaxed, stop_at)`` — returns ``k`` with
+  ``|B(q, eps)| <= k <= |B(q, (1+rho)eps)|``; whole subtrees inside the
+  relaxed ball are counted without descending.
+* ``ball_ids(q, sq_radius)`` — exact enumeration, used by tests and the
+  static baselines.
+
+Points are stored in leaf buckets; an id -> leaf map makes deletion O(1) to
+locate.  Bounding boxes only ever grow between rebuilds (they stay valid
+supersets), and a rebuild re-tightens everything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry.points import Point
+
+_LEAF_CAP = 8
+
+
+class _Node:
+    __slots__ = ("lo", "hi", "size", "parent", "dim", "val", "left", "right", "bucket")
+
+    def __init__(self, dim_count: int) -> None:
+        self.lo: List[float] = [float("inf")] * dim_count
+        self.hi: List[float] = [float("-inf")] * dim_count
+        self.size = 0
+        self.parent: Optional[_Node] = None
+        # Internal-node fields (None for leaves):
+        self.dim: int = -1
+        self.val: float = 0.0
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        # Leaf field (None for internal nodes):
+        self.bucket: Optional[Dict[int, Point]] = {}
+
+    def is_leaf(self) -> bool:
+        return self.bucket is not None
+
+    def min_sq_dist(self, q: Sequence[float]) -> float:
+        total = 0.0
+        lo = self.lo
+        hi = self.hi
+        for i, x in enumerate(q):
+            if x < lo[i]:
+                diff = lo[i] - x
+            elif x > hi[i]:
+                diff = x - hi[i]
+            else:
+                continue
+            total += diff * diff
+        return total
+
+    def max_sq_dist(self, q: Sequence[float]) -> float:
+        total = 0.0
+        lo = self.lo
+        hi = self.hi
+        for i, x in enumerate(q):
+            diff = x - lo[i]
+            diff2 = hi[i] - x
+            if diff2 > diff:
+                diff = diff2
+            total += diff * diff
+        return total
+
+
+class DynamicKDTree:
+    """Dynamic kd-tree over ``(id, point)`` pairs in fixed dimension."""
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dimension must be >= 1, got {dim}")
+        self.dim = dim
+        self._root = _Node(dim)
+        self._leaf_of: Dict[int, _Node] = {}
+        self._points: Dict[int, Point] = {}
+        self._deletes_since_build = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._points
+
+    def point(self, pid: int) -> Point:
+        """Coordinates of a stored point."""
+        return self._points[pid]
+
+    def ids(self) -> Iterator[int]:
+        """Iterate over all stored point ids."""
+        return iter(self._points)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, pid: int, point: Point) -> None:
+        """Add a point under a fresh id (must not already be present)."""
+        if pid in self._points:
+            raise KeyError(f"point id {pid} already present")
+        self._points[pid] = point
+        node = self._root
+        while True:
+            node.size += 1
+            lo = node.lo
+            hi = node.hi
+            for i, x in enumerate(point):
+                if x < lo[i]:
+                    lo[i] = x
+                if x > hi[i]:
+                    hi[i] = x
+            if node.is_leaf():
+                break
+            node = node.left if point[node.dim] < node.val else node.right
+        assert node.bucket is not None
+        node.bucket[pid] = point
+        self._leaf_of[pid] = node
+        if len(node.bucket) > _LEAF_CAP:
+            self._split_leaf(node)
+
+    def delete(self, pid: int) -> None:
+        """Remove a point by id (must be present)."""
+        leaf = self._leaf_of.pop(pid)
+        assert leaf.bucket is not None
+        del leaf.bucket[pid]
+        del self._points[pid]
+        node: Optional[_Node] = leaf
+        while node is not None:
+            node.size -= 1
+            node = node.parent
+        self._deletes_since_build += 1
+        if self._deletes_since_build > max(16, len(self._points)):
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        """Rebuild a balanced tree over the live points (tightens boxes)."""
+        items = list(self._points.items())
+        self._deletes_since_build = 0
+        self._leaf_of = {}
+        self._root = self._build(items)
+
+    def _build(self, items: List[Tuple[int, Point]]) -> _Node:
+        node = _Node(self.dim)
+        node.size = len(items)
+        if items:
+            lo = node.lo
+            hi = node.hi
+            for _, p in items:
+                for i, x in enumerate(p):
+                    if x < lo[i]:
+                        lo[i] = x
+                    if x > hi[i]:
+                        hi[i] = x
+        if len(items) <= _LEAF_CAP:
+            node.bucket = dict(items)
+            for pid, _ in items:
+                self._leaf_of[pid] = node
+            return node
+        node.bucket = None
+        dim = max(range(self.dim), key=lambda i: node.hi[i] - node.lo[i])
+        items.sort(key=lambda kv: kv[1][dim])
+        mid = len(items) // 2
+        node.dim = dim
+        node.val = items[mid][1][dim]
+        # Guard against all-equal coordinates along the split dimension: move
+        # the boundary to the first strictly-greater element if possible.
+        if items[0][1][dim] == node.val:
+            while mid < len(items) and items[mid][1][dim] == node.val:
+                mid += 1
+            if mid == len(items):  # every coordinate equal: keep as leaf
+                node.dim = -1
+                node.bucket = dict(items)
+                for pid, _ in items:
+                    self._leaf_of[pid] = node
+                return node
+            node.val = items[mid][1][dim]
+        node.left = self._build(items[:mid])
+        node.right = self._build(items[mid:])
+        node.left.parent = node
+        node.right.parent = node
+        return node
+
+    def _split_leaf(self, leaf: _Node) -> None:
+        assert leaf.bucket is not None
+        items = list(leaf.bucket.items())
+        dim = max(range(self.dim), key=lambda i: leaf.hi[i] - leaf.lo[i])
+        items.sort(key=lambda kv: kv[1][dim])
+        mid = len(items) // 2
+        val = items[mid][1][dim]
+        if items[0][1][dim] == val:
+            while mid < len(items) and items[mid][1][dim] == val:
+                mid += 1
+            if mid == len(items):
+                return  # all points identical on the widest dimension
+            val = items[mid][1][dim]
+        leaf.bucket = None
+        leaf.dim = dim
+        leaf.val = val
+        left = _Node(self.dim)
+        right = _Node(self.dim)
+        left.parent = leaf
+        right.parent = leaf
+        leaf.left = left
+        leaf.right = right
+        for pid, p in items:
+            child = left if p[dim] < val else right
+            assert child.bucket is not None
+            child.bucket[pid] = p
+            child.size += 1
+            for i, x in enumerate(p):
+                if x < child.lo[i]:
+                    child.lo[i] = x
+                if x > child.hi[i]:
+                    child.hi[i] = x
+            self._leaf_of[pid] = child
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def find_within(
+        self, q: Sequence[float], sq_eps: float, sq_relaxed: float
+    ) -> Optional[int]:
+        """Approximate emptiness search (see module docstring for contract)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.size == 0 or node.min_sq_dist(q) > sq_eps:
+                continue
+            if node.is_leaf():
+                assert node.bucket is not None
+                for pid, p in node.bucket.items():
+                    total = 0.0
+                    for a, b in zip(p, q):
+                        diff = a - b
+                        total += diff * diff
+                    if total <= sq_relaxed:
+                        return pid
+            else:
+                assert node.left is not None and node.right is not None
+                stack.append(node.left)
+                stack.append(node.right)
+        return None
+
+    def count_fuzzy(
+        self,
+        q: Sequence[float],
+        sq_eps: float,
+        sq_relaxed: float,
+        stop_at: Optional[int] = None,
+    ) -> int:
+        """Approximate ball count (see module docstring for contract).
+
+        If ``stop_at`` is given, the count may stop early once it reaches
+        that value (useful for core-status tests against ``MinPts``).
+        """
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.size == 0 or node.min_sq_dist(q) > sq_eps:
+                continue
+            if node.max_sq_dist(q) <= sq_relaxed:
+                count += node.size
+            elif node.is_leaf():
+                assert node.bucket is not None
+                for p in node.bucket.values():
+                    total = 0.0
+                    for a, b in zip(p, q):
+                        diff = a - b
+                        total += diff * diff
+                    if total <= sq_eps:
+                        count += 1
+            else:
+                assert node.left is not None and node.right is not None
+                stack.append(node.left)
+                stack.append(node.right)
+            if stop_at is not None and count >= stop_at:
+                return count
+        return count
+
+    def ball_ids(self, q: Sequence[float], sq_radius: float) -> List[int]:
+        """Exact: ids of all points within ``sqrt(sq_radius)`` of ``q``."""
+        result: List[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.size == 0 or node.min_sq_dist(q) > sq_radius:
+                continue
+            if node.is_leaf():
+                assert node.bucket is not None
+                for pid, p in node.bucket.items():
+                    total = 0.0
+                    for a, b in zip(p, q):
+                        diff = a - b
+                        total += diff * diff
+                    if total <= sq_radius:
+                        result.append(pid)
+            else:
+                assert node.left is not None and node.right is not None
+                stack.append(node.left)
+                stack.append(node.right)
+        return result

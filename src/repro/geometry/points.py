@@ -1,0 +1,96 @@
+"""Point and box primitives shared by every geometric structure.
+
+A *point* is a tuple of floats.  A *box* is an axis-parallel rectangle given
+as a pair ``(lo, hi)`` of coordinate tuples with ``lo[i] <= hi[i]`` on every
+dimension.  All distance helpers work on squared distances; callers compare
+against pre-squared thresholds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+Point = Tuple[float, ...]
+Box = Tuple[Point, Point]
+
+
+def sq_dist(p: Sequence[float], q: Sequence[float]) -> float:
+    """Squared Euclidean distance between two points."""
+    total = 0.0
+    for a, b in zip(p, q):
+        diff = a - b
+        total += diff * diff
+    return total
+
+
+def dist(p: Sequence[float], q: Sequence[float]) -> float:
+    """Euclidean distance between two points."""
+    return math.sqrt(sq_dist(p, q))
+
+
+def box_of_points(points: Iterable[Sequence[float]]) -> Box:
+    """Smallest axis-parallel box enclosing ``points`` (must be non-empty)."""
+    it = iter(points)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise ValueError("box_of_points requires at least one point") from None
+    lo = list(first)
+    hi = list(first)
+    for p in it:
+        for i, x in enumerate(p):
+            if x < lo[i]:
+                lo[i] = x
+            elif x > hi[i]:
+                hi[i] = x
+    return tuple(lo), tuple(hi)
+
+
+def box_min_sq_dist(box: Box, q: Sequence[float]) -> float:
+    """Squared distance from ``q`` to the nearest point of ``box``.
+
+    Zero when ``q`` lies inside the box.
+    """
+    lo, hi = box
+    total = 0.0
+    for i, x in enumerate(q):
+        if x < lo[i]:
+            diff = lo[i] - x
+        elif x > hi[i]:
+            diff = x - hi[i]
+        else:
+            continue
+        total += diff * diff
+    return total
+
+
+def box_max_sq_dist(box: Box, q: Sequence[float]) -> float:
+    """Squared distance from ``q`` to the farthest point of ``box``."""
+    lo, hi = box
+    total = 0.0
+    for i, x in enumerate(q):
+        diff = max(x - lo[i], hi[i] - x)
+        total += diff * diff
+    return total
+
+
+def box_inside_ball(box: Box, q: Sequence[float], sq_radius: float) -> bool:
+    """Whether every point of ``box`` is within ``sqrt(sq_radius)`` of ``q``."""
+    return box_max_sq_dist(box, q) <= sq_radius
+
+
+def boxes_min_sq_dist(a: Box, b: Box) -> float:
+    """Squared distance between the closest points of two boxes."""
+    alo, ahi = a
+    blo, bhi = b
+    total = 0.0
+    for i in range(len(alo)):
+        if ahi[i] < blo[i]:
+            diff = blo[i] - ahi[i]
+        elif bhi[i] < alo[i]:
+            diff = alo[i] - bhi[i]
+        else:
+            continue
+        total += diff * diff
+    return total

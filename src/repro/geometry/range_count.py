@@ -1,0 +1,68 @@
+"""Approximate range counting (the contract of Section 7.3).
+
+The fully-dynamic algorithm decides the relaxed core status of a point ``q``
+by asking for an integer ``k`` with ``|B(q, eps)| <= k <= |B(q, (1+rho)eps)|``
+and comparing ``k`` against ``MinPts``.  The paper plugs in the dynamic
+structure of Mount & Park; we substitute a kd-tree count with a fuzzy
+boundary, which satisfies the same inequality by construction:
+
+* a subtree whose bounding box lies entirely inside ``B(q, (1+rho)eps)`` is
+  counted wholesale (may include optional in-between points — fine for the
+  upper bound);
+* a subtree farther than ``eps`` from ``q`` is skipped (excludes only points
+  outside ``B(q, eps)`` — fine for the lower bound);
+* individual points are counted iff within ``eps``.
+
+One counter instance covers one grid cell (all its points, core or not);
+the clusterer sums counts over the ``(1+rho)eps``-close cells.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.geometry.kdtree import DynamicKDTree
+from repro.geometry.points import Point
+
+
+class ApproximateRangeCounter:
+    """Dynamic approximate ball-count over one cell's points."""
+
+    def __init__(self, dim: int, eps: float, rho: float) -> None:
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if rho < 0:
+            raise ValueError(f"rho must be non-negative, got {rho}")
+        self.eps = eps
+        self.rho = rho
+        self._sq_eps = eps * eps
+        relaxed = eps * (1.0 + rho)
+        self._sq_relaxed = relaxed * relaxed
+        self._tree = DynamicKDTree(dim)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._tree
+
+    def ids(self) -> Iterator[int]:
+        return self._tree.ids()
+
+    def point(self, pid: int) -> Point:
+        return self._tree.point(pid)
+
+    def insert(self, pid: int, point: Point) -> None:
+        self._tree.insert(pid, point)
+
+    def delete(self, pid: int) -> None:
+        self._tree.delete(pid)
+
+    def count(self, q: Sequence[float], stop_at: Optional[int] = None) -> int:
+        """Approximate number of stored points in ``B(q, eps)``.
+
+        The result ``k`` satisfies ``|B(q,eps)| <= k <= |B(q,(1+rho)eps)|``
+        restricted to this cell's points.  With ``stop_at`` the count may
+        saturate early once it reaches that value.
+        """
+        return self._tree.count_fuzzy(q, self._sq_eps, self._sq_relaxed, stop_at)

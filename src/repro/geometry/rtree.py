@@ -1,0 +1,258 @@
+"""A dynamic R-tree over points (Guttman-style, quadratic split).
+
+This is the range-query substrate for the IncDBSCAN baseline (Ester et al.
+used an R*-tree).  It supports insertion, deletion by id, and ball range
+queries.  Deletion locates the leaf through an id -> leaf map, removes the
+entry, re-tightens bounding rectangles up the path, and collapses nodes that
+become empty; underflowing nodes are tolerated rather than re-inserted
+(tree quality matters far less here than the BFS cost IncDBSCAN pays, which
+is what the paper's experiments highlight).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.points import Point
+
+_MAX_ENTRIES = 16
+
+
+class _RNode:
+    __slots__ = ("lo", "hi", "parent", "children", "bucket")
+
+    def __init__(self, dim: int, leaf: bool) -> None:
+        self.lo: List[float] = [float("inf")] * dim
+        self.hi: List[float] = [float("-inf")] * dim
+        self.parent: Optional[_RNode] = None
+        self.children: Optional[List[_RNode]] = None if leaf else []
+        self.bucket: Optional[Dict[int, Point]] = {} if leaf else None
+
+    def is_leaf(self) -> bool:
+        return self.bucket is not None
+
+    def min_sq_dist(self, q: Sequence[float]) -> float:
+        total = 0.0
+        for i, x in enumerate(q):
+            if x < self.lo[i]:
+                diff = self.lo[i] - x
+            elif x > self.hi[i]:
+                diff = x - self.hi[i]
+            else:
+                continue
+            total += diff * diff
+        return total
+
+    def _enlargement(self, p: Point) -> float:
+        """Volume increase if ``p`` joined this node (inf-safe for empties)."""
+        old = 1.0
+        new = 1.0
+        for i, x in enumerate(p):
+            side = self.hi[i] - self.lo[i]
+            if side < 0:
+                return float("inf")
+            old *= side
+            new *= max(self.hi[i], x) - min(self.lo[i], x)
+        return new - old
+
+    def _expand_point(self, p: Point) -> None:
+        for i, x in enumerate(p):
+            if x < self.lo[i]:
+                self.lo[i] = x
+            if x > self.hi[i]:
+                self.hi[i] = x
+
+    def _expand_node(self, other: "_RNode") -> None:
+        for i in range(len(self.lo)):
+            if other.lo[i] < self.lo[i]:
+                self.lo[i] = other.lo[i]
+            if other.hi[i] > self.hi[i]:
+                self.hi[i] = other.hi[i]
+
+    def recompute_mbr(self) -> None:
+        dim = len(self.lo)
+        self.lo = [float("inf")] * dim
+        self.hi = [float("-inf")] * dim
+        if self.is_leaf():
+            assert self.bucket is not None
+            for p in self.bucket.values():
+                self._expand_point(p)
+        else:
+            assert self.children is not None
+            for child in self.children:
+                self._expand_node(child)
+
+
+class RTree:
+    """Dynamic point R-tree supporting ball range queries."""
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dimension must be >= 1, got {dim}")
+        self.dim = dim
+        self._root = _RNode(dim, leaf=True)
+        self._leaf_of: Dict[int, _RNode] = {}
+        self._points: Dict[int, Point] = {}
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._points
+
+    def point(self, pid: int) -> Point:
+        return self._points[pid]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, pid: int, point: Point) -> None:
+        if pid in self._points:
+            raise KeyError(f"point id {pid} already present")
+        self._points[pid] = point
+        node = self._root
+        while not node.is_leaf():
+            assert node.children is not None
+            node._expand_point(point)
+            node = min(node.children, key=lambda c: c._enlargement(point))
+        node._expand_point(point)
+        assert node.bucket is not None
+        node.bucket[pid] = point
+        self._leaf_of[pid] = node
+        if len(node.bucket) > _MAX_ENTRIES:
+            self._split(node)
+
+    def delete(self, pid: int) -> None:
+        leaf = self._leaf_of.pop(pid)
+        assert leaf.bucket is not None
+        del leaf.bucket[pid]
+        del self._points[pid]
+        node: Optional[_RNode] = leaf
+        while node is not None:
+            parent = node.parent
+            if parent is not None and not node.is_leaf() and not node.children:
+                assert parent.children is not None
+                parent.children.remove(node)
+            elif parent is not None and node.is_leaf() and not node.bucket:
+                assert parent.children is not None
+                parent.children.remove(node)
+            else:
+                node.recompute_mbr()
+            node = parent
+        # Collapse a root with a single internal child.
+        while (
+            not self._root.is_leaf()
+            and self._root.children is not None
+            and len(self._root.children) == 1
+        ):
+            self._root = self._root.children[0]
+            self._root.parent = None
+
+    def _split(self, node: _RNode) -> None:
+        """Quadratic split of an overflowing node (leaf or internal)."""
+        if node.is_leaf():
+            assert node.bucket is not None
+            entries: List[Tuple[object, Point]] = [
+                (pid, p) for pid, p in node.bucket.items()
+            ]
+            reps = [p for _, p in entries]
+        else:
+            assert node.children is not None
+            entries = [
+                (child, tuple((child.lo[i] + child.hi[i]) / 2 for i in range(self.dim)))
+                for child in node.children
+            ]
+            reps = [rep for _, rep in entries]
+
+        # Pick the pair of seeds farthest apart (quadratic in fan-out only).
+        best = (0, 1)
+        best_d = -1.0
+        for i in range(len(reps)):
+            for j in range(i + 1, len(reps)):
+                d = sum((a - b) ** 2 for a, b in zip(reps[i], reps[j]))
+                if d > best_d:
+                    best_d = d
+                    best = (i, j)
+        seed_a, seed_b = reps[best[0]], reps[best[1]]
+
+        group_a: List[Tuple[object, Point]] = []
+        group_b: List[Tuple[object, Point]] = []
+        for entry, rep in zip(entries, reps):
+            da = sum((a - b) ** 2 for a, b in zip(rep, seed_a))
+            db = sum((a - b) ** 2 for a, b in zip(rep, seed_b))
+            (group_a if da <= db else group_b).append((entry[0], rep))
+        if not group_a or not group_b:  # degenerate (all identical): halve
+            merged = group_a or group_b
+            group_a = merged[: len(merged) // 2]
+            group_b = merged[len(merged) // 2 :]
+
+        sibling = _RNode(self.dim, leaf=node.is_leaf())
+        if node.is_leaf():
+            assert node.bucket is not None
+            old_bucket = node.bucket
+            node.bucket = {}
+            sibling.bucket = {}
+            for pid, _ in group_a:
+                assert isinstance(pid, int)
+                node.bucket[pid] = old_bucket[pid]
+            for pid, _ in group_b:
+                assert isinstance(pid, int)
+                sibling.bucket[pid] = old_bucket[pid]
+                self._leaf_of[pid] = sibling
+        else:
+            node.children = [child for child, _ in group_a]  # type: ignore[misc]
+            sibling.children = [child for child, _ in group_b]  # type: ignore[misc]
+            for child in node.children:
+                child.parent = node
+            for child in sibling.children:
+                child.parent = sibling
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+
+        parent = node.parent
+        if parent is None:
+            new_root = _RNode(self.dim, leaf=False)
+            assert new_root.children is not None
+            new_root.children = [node, sibling]
+            node.parent = new_root
+            sibling.parent = new_root
+            new_root.recompute_mbr()
+            self._root = new_root
+        else:
+            assert parent.children is not None
+            parent.children.append(sibling)
+            sibling.parent = parent
+            parent._expand_node(sibling)
+            if len(parent.children) > _MAX_ENTRIES:
+                self._split(parent)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def ball_ids(self, q: Sequence[float], sq_radius: float) -> List[int]:
+        """Ids of all points within ``sqrt(sq_radius)`` of ``q`` (exact)."""
+        result: List[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.min_sq_dist(q) > sq_radius:
+                continue
+            if node.is_leaf():
+                assert node.bucket is not None
+                for pid, p in node.bucket.items():
+                    total = 0.0
+                    for a, b in zip(p, q):
+                        diff = a - b
+                        total += diff * diff
+                    if total <= sq_radius:
+                        result.append(pid)
+            else:
+                assert node.children is not None
+                stack.extend(node.children)
+        return result
+
+    def ball_count(self, q: Sequence[float], sq_radius: float) -> int:
+        """Number of points within ``sqrt(sq_radius)`` of ``q`` (exact)."""
+        return len(self.ball_ids(q, sq_radius))

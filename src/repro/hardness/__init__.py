@@ -1,0 +1,30 @@
+"""The hardness side of the paper (Section 6.1).
+
+* :mod:`repro.hardness.usec` — the unit-spherical emptiness checking
+  (USEC) problem, its line-separated variant (USEC-LS), brute-force
+  solvers, instance generators, and the Lemma 1 divide-and-conquer
+  reduction from USEC to USEC-LS.
+* :mod:`repro.hardness.reduction` — the Lemma 2 reduction: solving
+  USEC-LS with *any* fully-dynamic clustering algorithm, which is what
+  makes fully-dynamic rho-approximate DBSCAN hard.
+"""
+
+from repro.hardness.usec import (
+    USECInstance,
+    random_usec_instance,
+    random_usec_ls_instance,
+    usec_brute,
+    usec_ls_brute,
+    usec_via_ls_oracle,
+)
+from repro.hardness.reduction import solve_usec_ls_with_clusterer
+
+__all__ = [
+    "USECInstance",
+    "random_usec_instance",
+    "random_usec_ls_instance",
+    "solve_usec_ls_with_clusterer",
+    "usec_brute",
+    "usec_ls_brute",
+    "usec_via_ls_oracle",
+]

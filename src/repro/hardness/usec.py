@@ -1,0 +1,131 @@
+"""USEC and USEC-LS (Section 2 and Section 6.1).
+
+**USEC** (unit-spherical emptiness checking): given red points and blue
+points in R^d, decide whether some red-blue pair is within distance 1.
+It carries an Omega(n^{4/3}) lower bound for d >= 5 and is believed equally
+hard for d = 3, 4 — the root of all the paper's hardness results.
+
+**USEC-LS** adds the promise that a plane perpendicular to dimension 1
+separates the colors.  Lemma 1 shows USEC reduces to USEC-LS by divide and
+conquer on dimension 1; :func:`usec_via_ls_oracle` implements that
+reduction against any USEC-LS oracle, so the tests can validate the
+construction end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.geometry.points import sq_dist
+
+Point = Tuple[float, ...]
+LSOracle = Callable[[Sequence[Point], Sequence[Point]], bool]
+
+
+@dataclass
+class USECInstance:
+    """A red/blue point set with unit distance threshold."""
+
+    red: List[Point] = field(default_factory=list)
+    blue: List[Point] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.red) + len(self.blue)
+
+    def is_line_separated(self) -> bool:
+        """Whether some plane on dimension 1 separates red from blue."""
+        if not self.red or not self.blue:
+            return True
+        max_red = max(p[0] for p in self.red)
+        min_blue = min(p[0] for p in self.blue)
+        if max_red < min_blue:
+            return True
+        max_blue = max(p[0] for p in self.blue)
+        min_red = min(p[0] for p in self.red)
+        return max_blue < min_red
+
+
+def usec_brute(red: Sequence[Point], blue: Sequence[Point]) -> bool:
+    """Reference solver: any red-blue pair within distance 1?"""
+    for r in red:
+        for b in blue:
+            if sq_dist(r, b) <= 1.0:
+                return True
+    return False
+
+
+def usec_ls_brute(red: Sequence[Point], blue: Sequence[Point]) -> bool:
+    """Reference USEC-LS solver (same predicate; the promise is unused)."""
+    return usec_brute(red, blue)
+
+
+def usec_via_ls_oracle(
+    red: Sequence[Point], blue: Sequence[Point], oracle: LSOracle
+) -> bool:
+    """Solve USEC with a USEC-LS oracle — the Lemma 1 divide and conquer.
+
+    Split all points by the median first coordinate; recurse on each half;
+    then resolve the cross-half pairs with two line-separated oracle calls
+    (left-red vs right-blue and left-blue vs right-red).
+    """
+    points = [(p, True) for p in red] + [(p, False) for p in blue]
+    if len(red) == 0 or len(blue) == 0:
+        return False
+    if len(points) <= 2:
+        return usec_brute(red, blue)
+    points.sort(key=lambda item: item[0][0])
+    mid = len(points) // 2
+    left, right = points[:mid], points[mid:]
+    left_red = [p for p, is_red in left if is_red]
+    left_blue = [p for p, is_red in left if not is_red]
+    right_red = [p for p, is_red in right if is_red]
+    right_blue = [p for p, is_red in right if not is_red]
+    if usec_via_ls_oracle(left_red, left_blue, oracle):
+        return True
+    if usec_via_ls_oracle(right_red, right_blue, oracle):
+        return True
+    if left_red and right_blue and oracle(left_red, right_blue):
+        return True
+    if left_blue and right_red and oracle(right_red, left_blue):
+        return True
+    return False
+
+
+def random_usec_instance(
+    n_red: int,
+    n_blue: int,
+    dim: int,
+    extent: float = 10.0,
+    seed: Optional[int] = None,
+) -> USECInstance:
+    """Uniform random USEC instance in ``[0, extent]^dim``."""
+    rng = random.Random(seed)
+    red = [tuple(rng.random() * extent for _ in range(dim)) for _ in range(n_red)]
+    blue = [tuple(rng.random() * extent for _ in range(dim)) for _ in range(n_blue)]
+    return USECInstance(red=red, blue=blue)
+
+
+def random_usec_ls_instance(
+    n_red: int,
+    n_blue: int,
+    dim: int,
+    extent: float = 4.0,
+    seed: Optional[int] = None,
+) -> USECInstance:
+    """Random line-separated instance: red left of 0, blue right of 0.
+
+    The extent is small enough that "yes" instances occur frequently.
+    """
+    rng = random.Random(seed)
+    red = [
+        (-rng.random() * extent,) + tuple(rng.random() * extent for _ in range(dim - 1))
+        for _ in range(n_red)
+    ]
+    blue = [
+        (rng.random() * extent,) + tuple(rng.random() * extent for _ in range(dim - 1))
+        for _ in range(n_blue)
+    ]
+    return USECInstance(red=red, blue=blue)

@@ -1,0 +1,15 @@
+"""Validators for approximate clustering outputs.
+
+* :func:`check_sandwich` — the Theorem 3 sandwich guarantee: every exact
+  cluster at ``eps`` lies inside one output cluster, and every output
+  cluster lies inside one exact cluster at ``(1+rho) eps``.
+* :func:`check_legality` — per-point core-status legality plus
+  connectivity legality of the output against the mandatory/forbidden
+  edge rules.
+"""
+
+from repro.validation.sandwich import check_sandwich
+from repro.validation.legality import check_legality
+from repro.validation.invariants import check_invariants
+
+__all__ = ["check_invariants", "check_legality", "check_sandwich"]

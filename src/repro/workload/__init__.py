@@ -1,0 +1,34 @@
+"""Workload machinery reproducing Section 8.1.
+
+* :mod:`repro.workload.seed_spreader` — the "random walk with restart"
+  static-data generator of Gan & Tao 2015 (~10 clusters + 0.01% noise).
+* :mod:`repro.workload.workload` — Steps 1-3: shuffled insertions,
+  deletion tokens filled with random alive points, periodic C-group-by
+  queries with |Q| uniform in [2, 100].
+* :mod:`repro.workload.runner` — executes a workload against any clusterer
+  and records per-operation costs.
+* :mod:`repro.workload.metrics` — avgcost(t), maxupdcost(t), average
+  workload cost, exactly as defined in Section 8.2.
+* :mod:`repro.workload.config` — the Table 2 parameter grid, scaled for
+  pure Python (override sizes with ``REPRO_BENCH_N``).
+"""
+
+from repro.workload.seed_spreader import seed_spreader
+from repro.workload.workload import (
+    Operation,
+    Workload,
+    generate_workload,
+)
+from repro.workload.runner import RunResult, run_workload
+from repro.workload.metrics import avgcost_series, maxupdcost_series
+
+__all__ = [
+    "Operation",
+    "RunResult",
+    "Workload",
+    "avgcost_series",
+    "generate_workload",
+    "maxupdcost_series",
+    "run_workload",
+    "seed_spreader",
+]

@@ -1,0 +1,55 @@
+"""The evaluation metrics of Section 8.2.
+
+* ``avgcost(t) = (1/t) * sum_{i<=t} cost[i]`` over all operations;
+* ``maxupdcost(t) = max_{i<=t} updcost[i]`` over updates only (query time
+  is *not* registered in maxupdcost);
+* *average workload cost* = ``avgcost(W)`` for the whole workload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def checkpoints(total: int, count: int = 10) -> List[int]:
+    """Evenly spaced 1-based operation indices ending at ``total``."""
+    if total < 1:
+        return []
+    count = min(count, total)
+    return [max(1, round(total * (i + 1) / count)) for i in range(count)]
+
+
+def avgcost_series(
+    op_costs: Sequence[float], marks: Sequence[int]
+) -> List[Tuple[int, float]]:
+    """``(t, avgcost(t))`` at each checkpoint ``t`` (1-based)."""
+    series: List[Tuple[int, float]] = []
+    running = 0.0
+    mark_iter = iter(sorted(marks))
+    mark = next(mark_iter, None)
+    for i, cost in enumerate(op_costs, start=1):
+        running += cost
+        while mark is not None and i == mark:
+            series.append((i, running / i))
+            mark = next(mark_iter, None)
+    return series
+
+
+def maxupdcost_series(
+    op_kinds: Sequence[str],
+    op_costs: Sequence[float],
+    marks: Sequence[int],
+) -> List[Tuple[int, float]]:
+    """``(t, maxupdcost(t))`` at each checkpoint ``t`` over all operations,
+    where only update (non-query) costs enter the maximum."""
+    series: List[Tuple[int, float]] = []
+    best = 0.0
+    mark_iter = iter(sorted(marks))
+    mark = next(mark_iter, None)
+    for i, (kind, cost) in enumerate(zip(op_kinds, op_costs), start=1):
+        if kind != "query" and cost > best:
+            best = cost
+        while mark is not None and i == mark:
+            series.append((i, best))
+            mark = next(mark_iter, None)
+    return series

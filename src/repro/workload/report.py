@@ -1,0 +1,178 @@
+"""Render benchmark series files into a markdown experiment report.
+
+The figure benchmarks write tab-separated series under
+``benchmarks/results/``.  This module parses those files and produces the
+paper-vs-measured summary used in EXPERIMENTS.md:
+
+* for time-series figures (Figs 8, 9, 12, 13): first/last avgcost per
+  algorithm, max update cost, and the win factor of our best algorithm
+  over IncDBSCAN;
+* for parameter-sweep figures (Figs 10, 11, 14, 15): a cost matrix and
+  per-x win factors.
+
+Run ``python -m repro.workload.report [results_dir]`` to print the
+report.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class SeriesBlock:
+    """One algorithm's time series within a figure file."""
+
+    name: str
+    rows: List[Tuple[int, float, float]] = field(default_factory=list)
+
+    @property
+    def first_avg(self) -> float:
+        return self.rows[0][1]
+
+    @property
+    def last_avg(self) -> float:
+        return self.rows[-1][1]
+
+    @property
+    def max_update(self) -> float:
+        return max(r[2] for r in self.rows)
+
+
+@dataclass
+class SweepRow:
+    x: str
+    algorithm: str
+    cost: float
+
+
+@dataclass
+class FigureData:
+    header: str
+    series: List[SeriesBlock] = field(default_factory=list)
+    sweep: List[SweepRow] = field(default_factory=list)
+    table: List[List[str]] = field(default_factory=list)
+
+
+def parse_results_file(path: Path) -> FigureData:
+    """Parse one ``benchmarks/results/*.txt`` file."""
+    header = ""
+    series: List[SeriesBlock] = []
+    sweep: List[SweepRow] = []
+    table: List[List[str]] = []
+    current: Optional[SeriesBlock] = None
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# ") and not header:
+            header = line[2:]
+            continue
+        if line.startswith("# "):
+            current = SeriesBlock(name=line[2:])
+            series.append(current)
+            continue
+        cells = line.split("\t")
+        if cells[0] in ("t", "x", "row", "ablation"):
+            continue  # column headers
+        if current is not None and len(cells) == 3:
+            try:
+                current.rows.append(
+                    (int(cells[0]), float(cells[1]), float(cells[2]))
+                )
+                continue
+            except ValueError:
+                current = None  # fall through: not a series row
+        if len(cells) == 3:
+            try:
+                sweep.append(SweepRow(cells[0], cells[1], float(cells[2])))
+                continue
+            except ValueError:
+                pass
+        table.append(cells)
+    return FigureData(header=header, series=series, sweep=sweep, table=table)
+
+
+def _win_factor(ours: float, baseline: float) -> str:
+    if ours <= 0:
+        return "n/a"
+    return f"{baseline / ours:.1f}x"
+
+
+def render_figure(data: FigureData) -> List[str]:
+    """Markdown lines summarizing one figure's results."""
+    lines = [f"**{data.header}**", ""]
+    if data.series:
+        lines.append("| algorithm | avgcost start (us) | avgcost end (us) | max update (us) |")
+        lines.append("|---|---|---|---|")
+        for block in data.series:
+            lines.append(
+                f"| {block.name} | {block.first_avg:.1f} | {block.last_avg:.1f} "
+                f"| {block.max_update:.1f} |"
+            )
+        inc = [b for b in data.series if "IncDBSCAN" in b.name]
+        ours = [b for b in data.series if "IncDBSCAN" not in b.name]
+        if inc and ours:
+            best = min(ours, key=lambda b: b.last_avg)
+            worst_inc = max(inc, key=lambda b: b.last_avg)
+            lines.append("")
+            lines.append(
+                f"Win factor at workload end ({best.name} vs "
+                f"{worst_inc.name}): **{_win_factor(best.last_avg, worst_inc.last_avg)}**"
+            )
+    if data.sweep:
+        by_x: Dict[str, Dict[str, float]] = {}
+        algorithms: List[str] = []
+        for row in data.sweep:
+            by_x.setdefault(row.x, {})[row.algorithm] = row.cost
+            if row.algorithm not in algorithms:
+                algorithms.append(row.algorithm)
+        lines.append("| x | " + " | ".join(algorithms) + " | win |")
+        lines.append("|---" * (len(algorithms) + 2) + "|")
+        for x in sorted(by_x):
+            costs = by_x[x]
+            cells = [f"{costs.get(a, float('nan')):.1f}" for a in algorithms]
+            inc_cost = next(
+                (c for a, c in costs.items() if "IncDBSCAN" in a), None
+            )
+            our_cost = min(
+                (c for a, c in costs.items() if "IncDBSCAN" not in a),
+                default=None,
+            )
+            win = (
+                _win_factor(our_cost, inc_cost)
+                if inc_cost is not None and our_cost is not None
+                else "-"
+            )
+            lines.append(f"| {x} | " + " | ".join(cells) + f" | {win} |")
+    if data.table:
+        width = max(len(r) for r in data.table)
+        for row in data.table:
+            lines.append("| " + " | ".join(row + [""] * (width - len(row))) + " |")
+    lines.append("")
+    return lines
+
+
+def render_report(results_dir: Path) -> str:
+    """Full markdown report over every results file in the directory."""
+    files = sorted(results_dir.glob("*.txt"))
+    if not files:
+        return f"(no results files in {results_dir})"
+    lines = ["# Measured benchmark series", ""]
+    for path in files:
+        lines.extend(render_figure(parse_results_file(path)))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    results = Path(args[0]) if args else Path("benchmarks/results")
+    print(render_report(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""Execute a workload against any clusterer and record per-op costs.
+
+The clusterer must expose ``insert(point) -> pid``, ``delete(pid)`` and
+``cgroup_by(pids)``.  Costs are wall-clock microseconds per operation,
+mirroring the paper's measurement units.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence
+
+from repro.workload.workload import Workload
+
+
+class DynamicClusterer(Protocol):
+    def insert(self, point: Sequence[float]) -> int: ...
+
+    def delete(self, pid: int) -> None: ...
+
+    def cgroup_by(self, pids): ...
+
+
+@dataclass
+class RunResult:
+    """Per-operation costs of one workload execution (microseconds)."""
+
+    op_kinds: List[str] = field(default_factory=list)
+    op_costs: List[float] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(self.op_costs)
+
+    @property
+    def average_cost(self) -> float:
+        """The paper's *average workload cost*: avgcost(W)."""
+        return self.total_cost / len(self.op_costs) if self.op_costs else 0.0
+
+    def update_costs(self) -> List[float]:
+        return [
+            c for k, c in zip(self.op_kinds, self.op_costs) if k != "query"
+        ]
+
+    def query_costs(self) -> List[float]:
+        return [
+            c for k, c in zip(self.op_kinds, self.op_costs) if k == "query"
+        ]
+
+    @property
+    def max_update_cost(self) -> float:
+        costs = self.update_costs()
+        return max(costs) if costs else 0.0
+
+
+def run_workload(
+    clusterer: DynamicClusterer,
+    workload: Workload,
+    max_ops: Optional[int] = None,
+) -> RunResult:
+    """Run (a prefix of) a workload, timing each operation."""
+    result = RunResult()
+    pid_of = {}
+    perf = time.perf_counter
+    ops = workload.ops if max_ops is None else workload.ops[:max_ops]
+    points = workload.points
+    for kind, arg in ops:
+        if kind == "insert":
+            start = perf()
+            pid = clusterer.insert(points[arg])
+            elapsed = perf() - start
+            pid_of[arg] = pid
+        elif kind == "delete":
+            pid = pid_of.pop(arg)
+            start = perf()
+            clusterer.delete(pid)
+            elapsed = perf() - start
+        elif kind == "query":
+            pids = [pid_of[idx] for idx in arg]
+            start = perf()
+            clusterer.cgroup_by(pids)
+            elapsed = perf() - start
+        else:
+            raise ValueError(f"unknown operation kind {kind!r}")
+        result.op_kinds.append(kind)
+        result.op_costs.append(elapsed * 1e6)
+    return result

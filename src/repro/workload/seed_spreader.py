@@ -1,0 +1,90 @@
+"""The seed-spreader dataset generator (Section 8.1, after Gan & Tao 2015).
+
+A spreader sits at a location ``p`` in the data space ``[0, extent]^d`` and
+emits points uniformly distributed in ``B(p, radius)``.  After emitting
+``points_per_station`` points from the same spot it shifts by ``step`` in a
+random direction.  At the end of every time tick it restarts (jumps to a
+fresh uniform location) with probability ``10 / (0.9999 * n)`` — about ten
+restarts per dataset, hence "around 10 clusters".  Finally ``0.01%`` of the
+points are replaced by uniform noise.
+
+Paper constants: extent 1e5, radius 25, 100 points per station, step 50.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+Point = Tuple[float, ...]
+
+EXTENT = 1e5
+RADIUS = 25.0
+STEP = 50.0
+POINTS_PER_STATION = 100
+RESTART_NUMERATOR = 10.0
+NOISE_FRACTION = 0.0001
+
+
+def _uniform_in_ball(
+    rng: random.Random, center: Point, radius: float, dim: int
+) -> Point:
+    """Uniform sample from the ball of the given radius around ``center``."""
+    while True:
+        direction = [rng.gauss(0.0, 1.0) for _ in range(dim)]
+        norm = math.sqrt(sum(x * x for x in direction))
+        if norm > 0:
+            break
+    scale = radius * (rng.random() ** (1.0 / dim)) / norm
+    return tuple(c + x * scale for c, x in zip(center, direction))
+
+
+def _random_location(rng: random.Random, dim: int, extent: float) -> Point:
+    return tuple(rng.random() * extent for _ in range(dim))
+
+
+def _clamp(point: Point, extent: float) -> Point:
+    return tuple(min(max(x, 0.0), extent) for x in point)
+
+
+def seed_spreader(
+    n: int,
+    dim: int,
+    seed: Optional[int] = None,
+    extent: float = EXTENT,
+    radius: float = RADIUS,
+    step: float = STEP,
+    points_per_station: int = POINTS_PER_STATION,
+    noise_fraction: float = NOISE_FRACTION,
+) -> List[Point]:
+    """Generate ``n`` points in ``[0, extent]^dim`` (clusters + noise)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    rng = random.Random(seed)
+    noise_count = int(round(n * noise_fraction))
+    cluster_count = n - noise_count
+    restart_prob = min(1.0, RESTART_NUMERATOR / max(1, cluster_count))
+
+    points: List[Point] = []
+    location = _random_location(rng, dim, extent)
+    emitted_here = 0
+    for _ in range(cluster_count):
+        points.append(_clamp(_uniform_in_ball(rng, location, radius, dim), extent))
+        emitted_here += 1
+        if emitted_here >= points_per_station:
+            direction = [rng.gauss(0.0, 1.0) for _ in range(dim)]
+            norm = math.sqrt(sum(x * x for x in direction)) or 1.0
+            location = _clamp(
+                tuple(c + step * x / norm for c, x in zip(location, direction)),
+                extent,
+            )
+            emitted_here = 0
+        if rng.random() < restart_prob:
+            location = _random_location(rng, dim, extent)
+            emitted_here = 0
+    for _ in range(noise_count):
+        points.append(_random_location(rng, dim, extent))
+    return points

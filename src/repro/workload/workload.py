@@ -1,0 +1,141 @@
+"""Workload construction — Steps 1-3 of Section 8.1.
+
+A workload is a sequence of *operations* over a point universe:
+
+* ``("insert", idx)`` — insert point ``points[idx]``;
+* ``("delete", idx)`` — delete that point (always after its insertion);
+* ``("query", indices)`` — a C-group-by query over currently-alive points.
+
+Step 1 shuffles a seed-spreader dataset into the insertion order.  Step 2
+appends deletion tokens, re-permutes until every prefix has at least as
+many insertions as tokens, then fills each token with a uniformly random
+currently-alive point.  Step 3 interleaves a query after every ``fqry``
+updates, with ``|Q|`` uniform in ``[2, 100]`` sampled from the alive set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.workload.seed_spreader import seed_spreader
+
+Point = Tuple[float, ...]
+Operation = Tuple[str, Union[int, List[int]]]
+
+QUERY_MIN = 2
+QUERY_MAX = 100
+
+
+@dataclass
+class Workload:
+    """A generated operation sequence plus its parameters."""
+
+    dim: int
+    points: List[Point]
+    ops: List[Operation] = field(default_factory=list)
+
+    @property
+    def update_count(self) -> int:
+        return sum(1 for kind, _ in self.ops if kind != "query")
+
+    @property
+    def insert_count(self) -> int:
+        return sum(1 for kind, _ in self.ops if kind == "insert")
+
+    @property
+    def delete_count(self) -> int:
+        return sum(1 for kind, _ in self.ops if kind == "delete")
+
+    @property
+    def query_count(self) -> int:
+        return sum(1 for kind, _ in self.ops if kind == "query")
+
+
+def _good_token_permutation(
+    rng: random.Random, insert_count: int, delete_count: int
+) -> List[bool]:
+    """A shuffled sequence of inserts (True) / tokens (False) where every
+    prefix has at least as many inserts as tokens."""
+    sequence = [True] * insert_count + [False] * delete_count
+    while True:
+        rng.shuffle(sequence)
+        balance = 0
+        good = True
+        for is_insert in sequence:
+            balance += 1 if is_insert else -1
+            if balance < 0:
+                good = False
+                break
+        if good:
+            return sequence
+
+
+def generate_workload(
+    n_updates: int,
+    dim: int,
+    insert_fraction: float = 1.0,
+    query_frequency: Optional[int] = None,
+    seed: Optional[int] = None,
+    points: Optional[Sequence[Point]] = None,
+) -> Workload:
+    """Build a workload of ``n_updates`` updates (Section 8.1).
+
+    ``insert_fraction`` is the paper's %ins (1.0 = semi-dynamic).
+    ``query_frequency`` inserts one C-group-by query after that many
+    updates (None = no queries).  ``points`` overrides the seed-spreader
+    dataset (must contain at least the number of insertions).
+    """
+    if n_updates < 1:
+        raise ValueError(f"n_updates must be >= 1, got {n_updates}")
+    if not 0.0 < insert_fraction <= 1.0:
+        raise ValueError(f"insert_fraction must be in (0, 1], got {insert_fraction}")
+    rng = random.Random(seed)
+    insert_count = int(round(n_updates * insert_fraction))
+    delete_count = n_updates - insert_count
+
+    if points is None:
+        data = seed_spreader(insert_count, dim, seed=rng.randrange(2**31))
+    else:
+        if len(points) < insert_count:
+            raise ValueError(
+                f"need {insert_count} points, got {len(points)}"
+            )
+        data = [tuple(p) for p in points[:insert_count]]
+    order = list(range(insert_count))
+    rng.shuffle(order)
+
+    shape = _good_token_permutation(rng, insert_count, delete_count)
+
+    ops: List[Operation] = []
+    alive: List[int] = []
+    alive_pos: dict = {}
+    insert_cursor = 0
+    updates_done = 0
+    for is_insert in shape:
+        if is_insert:
+            idx = order[insert_cursor]
+            insert_cursor += 1
+            ops.append(("insert", idx))
+            alive_pos[idx] = len(alive)
+            alive.append(idx)
+        else:
+            # Remove a uniform alive point (swap-pop keeps this O(1)).
+            pos = rng.randrange(len(alive))
+            idx = alive[pos]
+            last = alive.pop()
+            if last != idx:
+                alive[pos] = last
+                alive_pos[last] = pos
+            del alive_pos[idx]
+            ops.append(("delete", idx))
+        updates_done += 1
+        if (
+            query_frequency
+            and updates_done % query_frequency == 0
+            and len(alive) >= QUERY_MIN
+        ):
+            size = rng.randint(QUERY_MIN, min(QUERY_MAX, len(alive)))
+            ops.append(("query", rng.sample(alive, size)))
+    return Workload(dim=dim, points=data, ops=ops)

@@ -1,0 +1,69 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+import pytest
+
+from repro.baselines.static_dbscan import StaticClustering, dbscan_brute
+from repro.core.framework import Clustering
+
+Point = Tuple[float, ...]
+
+
+def canonical_clusters(
+    clusters: Iterable[Set[int]], idmap: Dict[int, int]
+) -> FrozenSet[FrozenSet[int]]:
+    """Clusters translated through ``idmap`` into an order-free form."""
+    return frozenset(frozenset(idmap[pid] for pid in c) for c in clusters)
+
+
+def assert_matches_static(
+    clustering: Clustering,
+    idmap: Dict[int, int],
+    reference: StaticClustering,
+) -> None:
+    """Exact equality of a dynamic clustering with the static oracle."""
+    got = canonical_clusters(clustering.clusters, idmap)
+    want = reference.canonical()
+    assert got == want, f"clusters differ:\n got {got}\nwant {want}"
+    got_noise = {idmap[pid] for pid in clustering.noise}
+    assert got_noise == reference.noise, (
+        f"noise differs: got {got_noise}, want {reference.noise}"
+    )
+
+
+def random_points(
+    n: int, dim: int, extent: float, seed: int
+) -> List[Point]:
+    rng = random.Random(seed)
+    return [tuple(rng.random() * extent for _ in range(dim)) for _ in range(n)]
+
+
+def clustered_points(
+    n: int, dim: int, seed: int, centers: int = 4, spread: float = 1.5
+) -> List[Point]:
+    """A few Gaussian blobs plus scattered outliers — varied densities."""
+    rng = random.Random(seed)
+    hubs = [tuple(rng.random() * 30 for _ in range(dim)) for _ in range(centers)]
+    points: List[Point] = []
+    for i in range(n):
+        if i % 10 == 9:
+            points.append(tuple(rng.random() * 30 for _ in range(dim)))
+        else:
+            hub = hubs[i % centers]
+            points.append(tuple(c + rng.gauss(0, spread) for c in hub))
+    return points
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def brute_reference(
+    points: Sequence[Point], eps: float, minpts: int
+) -> StaticClustering:
+    return dbscan_brute(points, eps, minpts)

@@ -1,0 +1,146 @@
+"""Adversarial datasets: boundary geometry, duplicates, degeneracies.
+
+These target the places where grid/tree code usually breaks: points on
+cell boundaries, distances exactly equal to eps, everything in one cell,
+collinear data, huge/tiny coordinates, and mass duplication.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.baselines.static_dbscan import dbscan_brute
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.core.semidynamic import SemiDynamicClusterer
+
+from conftest import assert_matches_static
+
+ALL_DYNAMIC = [
+    lambda eps, minpts, dim: SemiDynamicClusterer(eps, minpts, rho=0.0, dim=dim),
+    lambda eps, minpts, dim: FullyDynamicClusterer(eps, minpts, rho=0.0, dim=dim),
+    lambda eps, minpts, dim: IncDBSCAN(eps, minpts, dim=dim),
+]
+IDS = ["semi", "full", "inc"]
+
+
+def check(factory, pts, eps, minpts, dim):
+    algo = factory(eps, minpts, dim)
+    ids = [algo.insert(p) for p in pts]
+    idmap = {pid: i for i, pid in enumerate(ids)}
+    assert_matches_static(algo.clusters(), idmap, dbscan_brute(pts, eps, minpts))
+
+
+@pytest.mark.parametrize("factory", ALL_DYNAMIC, ids=IDS)
+class TestBoundaryGeometry:
+    def test_points_on_cell_boundaries(self, factory):
+        """Coordinates at exact multiples of the cell side."""
+        eps = 2.0
+        side = eps / (2**0.5)
+        pts = [
+            (i * side, j * side)
+            for i in range(4)
+            for j in range(4)
+        ]
+        check(factory, pts, eps, 3, 2)
+
+    def test_pairs_exactly_eps_apart(self, factory):
+        pts = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]
+        check(factory, pts, 1.0, 2, 2)
+
+    def test_pairs_just_over_eps(self, factory):
+        pts = [(0.0, 0.0), (1.0000001, 0.0), (2.0000002, 0.0)]
+        check(factory, pts, 1.0, 2, 2)
+
+    def test_negative_coordinates(self, factory):
+        pts = [(-5.0, -5.0), (-5.3, -5.2), (-5.1, -4.8), (4.0, 4.0)]
+        check(factory, pts, 1.0, 3, 2)
+
+    def test_coordinates_straddling_zero(self, factory):
+        pts = [(-0.1, -0.1), (0.1, 0.1), (-0.1, 0.1), (0.1, -0.1)]
+        check(factory, pts, 1.0, 3, 2)
+
+    def test_large_coordinates(self, factory):
+        base = 1e7
+        pts = [(base + dx, base + dy) for dx in (0.0, 0.4) for dy in (0.0, 0.4)]
+        pts.append((base + 100.0, base + 100.0))
+        check(factory, pts, 1.0, 3, 2)
+
+
+@pytest.mark.parametrize("factory", ALL_DYNAMIC, ids=IDS)
+class TestDegenerate:
+    def test_all_points_identical(self, factory):
+        pts = [(3.0, 3.0)] * 12
+        check(factory, pts, 1.0, 5, 2)
+
+    def test_all_points_in_one_cell(self, factory):
+        rng = random.Random(0)
+        pts = [(rng.uniform(0, 0.1), rng.uniform(0, 0.1)) for _ in range(25)]
+        check(factory, pts, 1.0, 10, 2)
+
+    def test_collinear_chain(self, factory):
+        pts = [(0.3 * i, 0.0) for i in range(30)]
+        check(factory, pts, 1.0, 4, 2)
+
+    def test_single_dimension(self, factory):
+        pts = [(float(i) * 0.7,) for i in range(15)]
+        check(factory, pts, 1.0, 3, 1)
+
+    def test_two_points(self, factory):
+        check(factory, [(0.0, 0.0), (0.5, 0.5)], 1.0, 2, 2)
+
+    def test_minpts_larger_than_dataset(self, factory):
+        pts = [(0.0, 0.0), (0.1, 0.1), (0.2, 0.2)]
+        check(factory, pts, 1.0, 10, 2)
+
+
+class TestFullyDynamicAdversarial:
+    """Deletion-heavy edge cases for the fully-dynamic algorithm."""
+
+    def test_delete_in_reverse_insertion_order(self):
+        pts = [(0.4 * i, 0.0) for i in range(20)]
+        algo = FullyDynamicClusterer(1.0, 3, rho=0.0, dim=2)
+        ids = [algo.insert(p) for p in pts]
+        for k in range(19, -1, -1):
+            algo.delete(ids[k])
+            rest = pts[:k]
+            idmap = {pid: i for i, pid in enumerate(ids[:k])}
+            assert_matches_static(
+                algo.clusters(), idmap, dbscan_brute(rest, 1.0, 3)
+            )
+
+    def test_repeated_insert_delete_same_location(self):
+        algo = FullyDynamicClusterer(1.0, 3, rho=0.0, dim=2)
+        anchor = [algo.insert((0.0, 0.0)), algo.insert((0.5, 0.0))]
+        for _ in range(40):
+            pid = algo.insert((0.25, 0.25))
+            assert algo.is_core(pid)
+            algo.delete(pid)
+            assert not any(algo.is_core(a) for a in anchor)
+        assert len(algo) == 2
+
+    def test_oscillating_core_status_at_threshold(self):
+        """A point at exactly MinPts neighbors flips with each update."""
+        algo = FullyDynamicClusterer(1.0, 3, rho=0.0, dim=1)
+        center = algo.insert((0.0,))
+        left = algo.insert((-0.8,))
+        assert not algo.is_core(center)
+        right = algo.insert((0.8,))
+        assert algo.is_core(center)
+        algo.delete(left)
+        assert not algo.is_core(center)
+        left = algo.insert((-0.8,))
+        assert algo.is_core(center)
+
+    def test_duplicate_point_deletions(self):
+        algo = FullyDynamicClusterer(1.0, 4, rho=0.0, dim=2)
+        ids = [algo.insert((1.0, 1.0)) for _ in range(10)]
+        rng = random.Random(3)
+        rng.shuffle(ids)
+        for i, pid in enumerate(ids):
+            algo.delete(pid)
+            remaining = 9 - i
+            ref = dbscan_brute([(1.0, 1.0)] * remaining, 1.0, 4)
+            assert len(algo.clusters().clusters) == len(ref.clusters)

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.n == 2000
+        assert args.dim == 2
+        assert args.algorithms == ["double-approx", "incdbscan"]
+
+    def test_bench_rejects_unknown_algorithm(self, capsys):
+        code = main(["bench", "--n", "50", "quantum-dbscan"])
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.n == 10000 and args.dim == 2
+
+
+class TestCommands:
+    def test_bench_runs(self, capsys):
+        code = main(["bench", "--n", "150", "--seed", "1", "double-approx"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "double-approx" in out
+        assert "avg" in out
+
+    def test_bench_semi_flag_builds_insert_only(self, capsys):
+        code = main(["bench", "--n", "120", "--semi", "semi-approx"])
+        assert code == 0
+        assert "%ins=1.000" in capsys.readouterr().out
+
+    def test_bench_skips_semi_on_mixed_workload(self, capsys):
+        code = main(["bench", "--n", "120", "semi-approx"])
+        assert code == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "points.csv"
+        code = main(["generate", "--n", "25", "--dim", "3", "--output", str(out_file)])
+        assert code == 0
+        lines = out_file.read_text().strip().splitlines()
+        assert len(lines) == 25
+        assert all(len(line.split(",")) == 3 for line in lines)
+
+    def test_generate_stdout(self, capsys):
+        code = main(["generate", "--n", "5"])
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 5
+
+    def test_usec_agrees(self, capsys):
+        code = main(["usec", "--n", "8", "--instances", "3"])
+        assert code == 0
+        assert "3/3 agree" in capsys.readouterr().out

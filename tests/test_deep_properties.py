@@ -1,0 +1,191 @@
+"""Deeper property tests across substrates.
+
+Targets the internals that the main property suites exercise only
+indirectly: ETT tour ordering, HDT vertex lifecycle under churn, fuzzy
+count stop_at semantics, and the legality checker's don't-care band.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.connectivity.euler_tour import EulerTourForest, _position
+from repro.connectivity.hdt import HDTConnectivity
+from repro.connectivity.naive import NaiveConnectivity
+from repro.geometry.kdtree import DynamicKDTree
+from repro.validation import check_legality
+
+
+class TestEttPositions:
+    def test_positions_are_distinct_and_ordered(self):
+        rng = random.Random(3)
+        f = EulerTourForest(seed=3)
+        for i in range(20):
+            f.ensure_vertex(i)
+        edges = []
+        for i in range(1, 20):
+            j = rng.randrange(i)
+            f.link(j, i)
+            edges.append((j, i))
+        root = f.find_root(0)
+        nodes = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            if node.left:
+                stack.append(node.left)
+            if node.right:
+                stack.append(node.right)
+        positions = sorted(_position(n) for n in nodes)
+        assert positions == list(range(len(nodes)))
+
+    def test_arc_pair_brackets_subtree(self):
+        """Between arc(u,v) and arc(v,u) lies exactly v's subtree tour."""
+        f = EulerTourForest(seed=4)
+        # Path 0 - 1 - 2 - 3 rooted anywhere.
+        for i in range(3):
+            f.link(i, i + 1)
+        a_uv = f._arcs[(1, 2)]
+        a_vu = f._arcs[(2, 1)]
+        lo, hi = sorted((_position(a_uv), _position(a_vu)))
+        inside = set()
+        root = f.find_root(0)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.vertex is not None and lo < _position(node) < hi:
+                inside.add(node.vertex)
+            if node.left:
+                stack.append(node.left)
+            if node.right:
+                stack.append(node.right)
+        # The side containing vertex 2 (and possibly 3) must be bracketed.
+        assert inside in ({2, 3}, {0, 1})  # depends on current tour root
+
+
+class TestHdtVertexChurn:
+    def test_vertices_added_and_removed_during_edge_churn(self):
+        rng = random.Random(6)
+        h = HDTConnectivity(seed=6)
+        naive = NaiveConnectivity()
+        alive = set()
+        edges = set()
+        next_v = 0
+        for step in range(1500):
+            action = rng.random()
+            if action < 0.25 or len(alive) < 2:
+                h.add_vertex(next_v)
+                naive.add_vertex(next_v)
+                alive.add(next_v)
+                next_v += 1
+            elif action < 0.45 and alive:
+                # remove an isolated vertex if one exists
+                isolated = [
+                    v for v in alive
+                    if not any(v in e for e in edges)
+                ]
+                if isolated:
+                    v = rng.choice(isolated)
+                    h.remove_vertex(v)
+                    naive.remove_vertex(v)
+                    alive.discard(v)
+            elif action < 0.75:
+                u, v = rng.sample(sorted(alive), 2)
+                e = (min(u, v), max(u, v))
+                if e not in edges:
+                    edges.add(e)
+                    h.insert_edge(*e)
+                    naive.insert_edge(*e)
+            elif edges:
+                e = rng.choice(sorted(edges))
+                edges.discard(e)
+                h.delete_edge(*e)
+                naive.delete_edge(*e)
+            if step % 100 == 0 and len(alive) >= 2:
+                for _ in range(8):
+                    a, b = rng.sample(sorted(alive), 2)
+                    assert h.connected(a, b) == naive.connected(a, b)
+
+    def test_component_sizes_after_churn(self):
+        rng = random.Random(7)
+        h = HDTConnectivity(seed=7)
+        n = 20
+        for v in range(n):
+            h.add_vertex(v)
+        edges = set()
+        for _ in range(400):
+            if edges and rng.random() < 0.5:
+                e = rng.choice(sorted(edges))
+                edges.discard(e)
+                h.delete_edge(*e)
+            else:
+                u, v = rng.sample(range(n), 2)
+                e = (min(u, v), max(u, v))
+                if e not in edges:
+                    edges.add(e)
+                    h.insert_edge(*e)
+        for v in range(n):
+            members = h.component_vertices(v)
+            assert h.component_size(v) == len(members)
+            assert v in members
+            for w in members:
+                assert h.connected(v, w)
+
+
+class TestFuzzyCountStopAt:
+    @given(
+        st.lists(st.floats(0, 3), min_size=0, max_size=60),
+        st.integers(1, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stop_at_never_underreports_threshold(self, xs, threshold):
+        """count(stop_at=m) >= m iff the true count >= m (rho = 0)."""
+        tree = DynamicKDTree(1)
+        for pid, x in enumerate(xs):
+            tree.insert(pid, (x,))
+        true_count = sum(1 for x in xs if x <= 1.0)
+        counted = tree.count_fuzzy((0.0,), 1.0, 1.0, stop_at=threshold)
+        assert (counted >= threshold) == (true_count >= threshold)
+
+    def test_stop_at_none_gives_full_count(self):
+        tree = DynamicKDTree(1)
+        for pid in range(50):
+            tree.insert(pid, (0.01 * pid,))
+        assert tree.count_fuzzy((0.0,), 1.0, 1.0) == 50
+
+
+class TestLegalityDontCareBand:
+    def test_band_point_accepted_as_core_and_noncore(self):
+        """|B(p,eps)| < MinPts <= |B(p,(1+rho)eps)|: both flags legal."""
+        coords = {0: (0.0,), 1: (1.0,), 2: (1.3,)}
+        eps, minpts, rho = 1.0, 3, 0.5
+        # Point 0 has tight count 2, loose count 3 -> don't care.
+        for zero_is_core in (True, False):
+            if zero_is_core:
+                core = {0, 1, 2}
+                clusters = [{0, 1, 2}]
+                noise = set()
+            else:
+                # With 0 non-core, 1 and 2 remain core? tight counts:
+                # |B(1, 1)| = {0,1,2} = 3 -> 1 is definitely core;
+                # |B(2, 1)| = {1,2} = 2, loose adds 0 -> don't care; pick core.
+                core = {1, 2}
+                clusters = [{0, 1, 2}]
+                noise = set()
+            violations = check_legality(
+                coords, clusters, noise, core, eps, minpts, rho,
+                relaxed_core=True,
+            )
+            assert violations == [], (zero_is_core, violations)
+
+    def test_outside_band_rejected(self):
+        coords = {0: (0.0,), 1: (10.0,), 2: (20.0,)}
+        violations = check_legality(
+            coords, [{0, 1, 2}], set(), {0, 1, 2}, 1.0, 3, 0.5,
+            relaxed_core=True,
+        )
+        assert violations != []  # isolated points can never be core

@@ -1,0 +1,113 @@
+"""Tests for the emptiness structure and the approximate range counter."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.emptiness import EmptinessStructure
+from repro.geometry.points import sq_dist
+from repro.geometry.range_count import ApproximateRangeCounter
+
+
+class TestEmptinessStructure:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EmptinessStructure(2, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            EmptinessStructure(2, 1.0, -0.1)
+
+    def test_empty_structure_returns_none(self):
+        s = EmptinessStructure(2, 1.0, 0.0)
+        assert s.empty((0.0, 0.0)) is None
+
+    def test_exact_mode_hit_and_miss(self):
+        s = EmptinessStructure(2, 1.0, 0.0)
+        s.insert(7, (3.0, 3.0))
+        assert s.empty((3.5, 3.0)) == 7
+        assert s.empty((5.0, 3.0)) is None
+
+    def test_boundary_inclusive(self):
+        s = EmptinessStructure(1, 1.0, 0.0)
+        s.insert(1, (0.0,))
+        assert s.empty((1.0,)) == 1
+
+    def test_proof_point_within_relaxed(self):
+        rng = random.Random(3)
+        s = EmptinessStructure(2, 1.0, 0.5)
+        pts = {}
+        for pid in range(100):
+            p = (rng.random() * 6, rng.random() * 6)
+            pts[pid] = p
+            s.insert(pid, p)
+        for _ in range(200):
+            q = (rng.random() * 6, rng.random() * 6)
+            proof = s.empty(q)
+            has_tight = any(sq_dist(p, q) <= 1.0 for p in pts.values())
+            if has_tight:
+                assert proof is not None
+            if proof is not None:
+                assert sq_dist(pts[proof], q) <= 1.5**2 + 1e-12
+
+    def test_delete_then_miss(self):
+        s = EmptinessStructure(2, 1.0, 0.0)
+        s.insert(1, (0.0, 0.0))
+        s.delete(1)
+        assert s.empty((0.0, 0.0)) is None
+        assert len(s) == 0
+
+    def test_contains_and_ids(self):
+        s = EmptinessStructure(2, 1.0, 0.0)
+        s.insert(5, (1.0, 1.0))
+        s.insert(6, (2.0, 2.0))
+        assert 5 in s and 6 in s and 7 not in s
+        assert sorted(s.ids()) == [5, 6]
+
+
+class TestApproximateRangeCounter:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ApproximateRangeCounter(2, -1.0, 0.0)
+
+    def test_exact_mode_counts(self):
+        c = ApproximateRangeCounter(1, 1.0, 0.0)
+        for pid, x in enumerate([0.0, 0.5, 1.0, 2.0]):
+            c.insert(pid, (x,))
+        assert c.count((0.0,)) == 3  # 0.0, 0.5, 1.0
+
+    def test_count_bounds_random(self):
+        rng = random.Random(17)
+        c = ApproximateRangeCounter(3, 1.0, 0.3)
+        pts = {}
+        for pid in range(400):
+            p = tuple(rng.random() * 5 for _ in range(3))
+            pts[pid] = p
+            c.insert(pid, p)
+        for _ in range(80):
+            q = tuple(rng.random() * 5 for _ in range(3))
+            k = c.count(q)
+            lo = sum(1 for p in pts.values() if sq_dist(p, q) <= 1.0)
+            hi = sum(1 for p in pts.values() if sq_dist(p, q) <= 1.69 + 1e-12)
+            assert lo <= k <= hi
+
+    def test_stop_at_reaches_threshold(self):
+        c = ApproximateRangeCounter(2, 1.0, 0.0)
+        for pid in range(50):
+            c.insert(pid, (0.0, 0.0))
+        assert c.count((0.0, 0.0), stop_at=10) >= 10
+
+    def test_count_after_deletions(self):
+        c = ApproximateRangeCounter(2, 1.0, 0.0)
+        for pid in range(20):
+            c.insert(pid, (0.1 * pid, 0.0))
+        for pid in range(0, 20, 2):
+            c.delete(pid)
+        expected = sum(1 for pid in range(1, 20, 2) if 0.1 * pid <= 1.0)
+        assert c.count((0.0, 0.0)) == expected
+
+    def test_point_accessor(self):
+        c = ApproximateRangeCounter(2, 1.0, 0.0)
+        c.insert(3, (1.5, 2.5))
+        assert c.point(3) == (1.5, 2.5)
+        assert 3 in c

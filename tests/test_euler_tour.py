@@ -1,0 +1,210 @@
+"""Tests for the treap-backed Euler-tour forest."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.connectivity.euler_tour import EulerTourForest
+
+
+class TestVertices:
+    def test_ensure_vertex_and_contains(self):
+        f = EulerTourForest(seed=1)
+        f.ensure_vertex("a")
+        assert "a" in f
+        assert f.tree_size("a") == 1
+
+    def test_ensure_is_idempotent(self):
+        f = EulerTourForest(seed=1)
+        n1 = f.ensure_vertex("a")
+        n2 = f.ensure_vertex("a")
+        assert n1 is n2
+
+    def test_remove_isolated_vertex(self):
+        f = EulerTourForest(seed=1)
+        f.ensure_vertex("a")
+        f.remove_vertex("a")
+        assert "a" not in f
+
+    def test_remove_connected_vertex_raises(self):
+        f = EulerTourForest(seed=1)
+        f.link("a", "b")
+        with pytest.raises(ValueError):
+            f.remove_vertex("a")
+
+
+class TestLinkCut:
+    def test_link_connects(self):
+        f = EulerTourForest(seed=2)
+        f.link(1, 2)
+        assert f.connected(1, 2)
+        assert f.tree_size(1) == 2
+        assert f.has_edge(1, 2)
+
+    def test_link_already_connected_raises(self):
+        f = EulerTourForest(seed=2)
+        f.link(1, 2)
+        f.link(2, 3)
+        with pytest.raises(ValueError):
+            f.link(1, 3)
+
+    def test_duplicate_edge_raises(self):
+        f = EulerTourForest(seed=2)
+        f.link(1, 2)
+        with pytest.raises(KeyError):
+            f.link(2, 1)
+
+    def test_cut_disconnects(self):
+        f = EulerTourForest(seed=3)
+        f.link(1, 2)
+        f.cut(1, 2)
+        assert not f.connected(1, 2)
+        assert f.tree_size(1) == 1
+        assert f.tree_size(2) == 1
+
+    def test_cut_reversed_order(self):
+        f = EulerTourForest(seed=3)
+        f.link(1, 2)
+        f.cut(2, 1)
+        assert not f.connected(1, 2)
+
+    def test_cut_missing_edge_raises(self):
+        f = EulerTourForest(seed=3)
+        f.ensure_vertex(1)
+        f.ensure_vertex(2)
+        with pytest.raises(KeyError):
+            f.cut(1, 2)
+
+    def test_path_cut_in_middle(self):
+        f = EulerTourForest(seed=4)
+        for i in range(9):
+            f.link(i, i + 1)
+        assert f.tree_size(0) == 10
+        f.cut(4, 5)
+        assert f.connected(0, 4)
+        assert f.connected(5, 9)
+        assert not f.connected(0, 9)
+        assert f.tree_size(0) == 5
+        assert f.tree_size(9) == 5
+
+    def test_star_cuts(self):
+        f = EulerTourForest(seed=5)
+        for i in range(1, 8):
+            f.link(0, i)
+        assert f.tree_size(0) == 8
+        for i in range(1, 8):
+            f.cut(0, i)
+            assert not f.connected(0, i)
+        assert f.tree_size(0) == 1
+
+    def test_tour_vertices(self):
+        f = EulerTourForest(seed=6)
+        f.link("a", "b")
+        f.link("b", "c")
+        assert set(f.tour_vertices("a")) == {"a", "b", "c"}
+        f.ensure_vertex("z")
+        assert f.tour_vertices("z") == ["z"]
+
+
+class TestFlags:
+    def test_nontree_flag_findable(self):
+        f = EulerTourForest(seed=7)
+        for i in range(5):
+            f.link(i, i + 1)
+        f.set_nontree_flag(3, True)
+        root = f.find_root(0)
+        assert f.find_nontree_vertex(root) == 3
+        f.set_nontree_flag(3, False)
+        assert f.find_nontree_vertex(f.find_root(0)) is None
+
+    def test_level_flag_findable(self):
+        f = EulerTourForest(seed=8)
+        f.link(1, 2)
+        f.link(2, 3)
+        f.set_level_flag(2, 3, True)
+        edge = f.find_level_edge(f.find_root(1))
+        assert edge in ((2, 3), (3, 2))
+        f.set_level_flag(3, 2, False)
+        assert f.find_level_edge(f.find_root(1)) is None
+
+    def test_flags_survive_restructuring(self):
+        f = EulerTourForest(seed=9)
+        for i in range(10):
+            f.link(i, i + 1)
+        f.set_nontree_flag(7, True)
+        f.cut(3, 4)  # 7 is in the right component
+        assert f.find_nontree_vertex(f.find_root(7)) == 7
+        assert f.find_nontree_vertex(f.find_root(0)) is None
+        f.link(3, 4)
+        assert f.find_nontree_vertex(f.find_root(0)) == 7
+
+    def test_multiple_flags_enumerable(self):
+        f = EulerTourForest(seed=10)
+        for i in range(6):
+            f.link(i, i + 1)
+        for v in (1, 4, 6):
+            f.set_nontree_flag(v, True)
+        found = set()
+        for _ in range(3):
+            v = f.find_nontree_vertex(f.find_root(0))
+            assert v is not None
+            found.add(v)
+            f.set_nontree_flag(v, False)
+        assert found == {1, 4, 6}
+        assert f.find_nontree_vertex(f.find_root(0)) is None
+
+
+class TestRandomizedForest:
+    def test_random_link_cut_matches_dsu_rebuild(self):
+        """Random spanning-forest churn cross-checked with fresh BFS."""
+        rng = random.Random(77)
+        f = EulerTourForest(seed=11)
+        n = 40
+        for v in range(n):
+            f.ensure_vertex(v)
+        edges = set()
+
+        def components():
+            adj = {v: [] for v in range(n)}
+            for u, v in edges:
+                adj[u].append(v)
+                adj[v].append(u)
+            seen = {}
+            for start in range(n):
+                if start in seen:
+                    continue
+                stack = [start]
+                seen[start] = start
+                while stack:
+                    x = stack.pop()
+                    for y in adj[x]:
+                        if y not in seen:
+                            seen[y] = start
+                            stack.append(y)
+            return seen
+
+        for step in range(800):
+            if edges and rng.random() < 0.4:
+                u, v = rng.choice(sorted(edges))
+                edges.discard((u, v))
+                f.cut(u, v)
+            else:
+                u, v = rng.sample(range(n), 2)
+                if (min(u, v), max(u, v)) in edges:
+                    continue
+                if f.connected(u, v):
+                    continue  # keep it a forest
+                edges.add((min(u, v), max(u, v)))
+                f.link(u, v)
+            if step % 40 == 0:
+                comp = components()
+                for _ in range(15):
+                    a, b = rng.sample(range(n), 2)
+                    assert f.connected(a, b) == (comp[a] == comp[b])
+                sizes = {}
+                for v, c in comp.items():
+                    sizes[c] = sizes.get(c, 0) + 1
+                for v in range(n):
+                    assert f.tree_size(v) == sizes[comp[v]]

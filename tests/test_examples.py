@@ -1,0 +1,50 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are executable documentation; these tests keep them honest.
+Each script is imported and its ``main()`` executed in-process (faster
+than subprocesses and failures give real tracebacks).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_examples_discovered():
+    assert set(SCRIPTS) >= {
+        "quickstart",
+        "stock_stream",
+        "moving_objects",
+        "hardness_demo",
+        "compare_baselines",
+        "cluster_evolution",
+    }
+
+
+@pytest.mark.parametrize("name", SCRIPTS)
+def test_example_runs(name, capsys, monkeypatch):
+    # Keep the baseline comparison quick inside the test suite.
+    monkeypatch.setenv("REPRO_BENCH_N", "300")
+    module = _load(name)
+    assert hasattr(module, "main"), f"{name}.py must define main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name}.py produced no output"
+    assert "FAIL" not in out

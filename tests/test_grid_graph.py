@@ -1,0 +1,125 @@
+"""Tests of the grid-graph semantics (Section 4.1) via the clusterers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.baselines.naive_dynamic import RecomputeClusterer
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.core.semidynamic import SemiDynamicClusterer
+
+from conftest import clustered_points
+
+
+class TestEdgeLifecycle:
+    def test_no_edges_for_noise(self):
+        algo = FullyDynamicClusterer(1.0, 3, rho=0.0, dim=2)
+        algo.insert((0.0, 0.0))
+        algo.insert((10.0, 10.0))
+        assert algo.grid_edge_count == 0
+
+    def test_edge_appears_with_core_promotion(self):
+        algo = FullyDynamicClusterer(1.0, 2, rho=0.0, dim=1)
+        algo.insert((0.9,))
+        assert algo.grid_edge_count == 0
+        # 1.1 lands in the adjacent cell (side = 1/sqrt(1) = 1.0); both
+        # points become core and are within eps, so the edge must appear.
+        algo.insert((1.1,))
+        assert algo.grid_edge_count == 1
+
+    def test_edges_torn_down_with_demotion(self):
+        algo = FullyDynamicClusterer(1.0, 2, rho=0.0, dim=1)
+        ids = [algo.insert((x,)) for x in (0.0, 0.9, 1.8)]
+        assert algo.grid_edge_count >= 1
+        for pid in ids:
+            algo.delete(pid)
+        assert algo.grid_edge_count == 0
+
+    def test_edge_count_bounded_by_close_pairs(self):
+        """|E| stays O(#core cells): each cell has O(1) close cells."""
+        pts = clustered_points(200, 2, seed=3)
+        algo = FullyDynamicClusterer(2.0, 4, rho=0.0, dim=2)
+        for p in pts:
+            algo.insert(p)
+        core_cells = sum(
+            1 for data in algo._cells.values() if data.core
+        )
+        max_close = len(algo._grid.offsets)
+        assert algo.grid_edge_count <= core_cells * max_close / 2
+
+    def test_clusters_equal_components_of_core_cells(self):
+        """The CC requirement: same cluster iff same grid-graph CC."""
+        pts = clustered_points(120, 2, seed=4)
+        algo = FullyDynamicClusterer(2.0, 4, rho=0.0, dim=2)
+        ids = [algo.insert(p) for p in pts]
+        core_ids = [pid for pid in ids if algo.is_core(pid)]
+        for a in core_ids[:30]:
+            for b in core_ids[:30]:
+                same_cc = algo._conn.connected(
+                    algo.cell_of(a), algo.cell_of(b)
+                )
+                assert same_cc == algo.same_cluster(a, b)
+
+
+class TestFourWayConsistency:
+    """semi / full / IncDBSCAN / recompute must agree exactly at rho=0."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_insert_only_agreement(self, seed):
+        pts = clustered_points(90, 2, seed=seed + 100)
+        eps, minpts = 2.0, 4
+        algos = [
+            SemiDynamicClusterer(eps, minpts, rho=0.0, dim=2),
+            FullyDynamicClusterer(eps, minpts, rho=0.0, dim=2),
+            IncDBSCAN(eps, minpts, dim=2),
+            RecomputeClusterer(eps, minpts, dim=2),
+        ]
+        maps = [dict() for _ in algos]
+        for i, p in enumerate(pts):
+            for algo, m in zip(algos, maps):
+                m[algo.insert(p)] = i
+        canons = []
+        for algo, m in zip(algos, maps):
+            c = algo.clusters()
+            canons.append(
+                (
+                    frozenset(frozenset(m[pid] for pid in cl) for cl in c.clusters),
+                    frozenset(m[pid] for pid in c.noise),
+                )
+            )
+        assert all(c == canons[0] for c in canons[1:])
+
+    def test_mixed_workload_agreement(self):
+        rng = random.Random(11)
+        pts = clustered_points(100, 2, seed=111)
+        eps, minpts = 2.0, 4
+        algos = [
+            FullyDynamicClusterer(eps, minpts, rho=0.0, dim=2),
+            IncDBSCAN(eps, minpts, dim=2),
+            RecomputeClusterer(eps, minpts, dim=2),
+        ]
+        maps = [dict() for _ in algos]
+        order = []
+        for i, p in enumerate(pts):
+            for algo, m in zip(algos, maps):
+                m[algo.insert(p)] = i
+            order.append(i)
+            if i % 4 == 3:
+                victim = order.pop(rng.randrange(len(order)))
+                for algo, m in zip(algos, maps):
+                    pid = next(k for k, v in m.items() if v == victim)
+                    algo.delete(pid)
+                    del m[pid]
+            if i % 20 == 19:
+                canons = []
+                for algo, m in zip(algos, maps):
+                    c = algo.clusters()
+                    canons.append(
+                        frozenset(
+                            frozenset(m[pid] for pid in cl) for cl in c.clusters
+                        )
+                    )
+                assert all(c == canons[0] for c in canons[1:]), f"step {i}"

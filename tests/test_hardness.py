@@ -1,0 +1,133 @@
+"""Tests for the USEC / USEC-LS machinery and the Lemma 2 reduction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardness.reduction import (
+    make_reduction_clusterer,
+    solve_usec_ls_with_clusterer,
+)
+from repro.hardness.usec import (
+    random_usec_instance,
+    random_usec_ls_instance,
+    usec_brute,
+    usec_ls_brute,
+    usec_via_ls_oracle,
+)
+
+
+class TestBruteSolvers:
+    def test_empty_sides(self):
+        assert usec_brute([], [(0.0, 0.0)]) is False
+        assert usec_brute([(0.0, 0.0)], []) is False
+
+    def test_yes_instance(self):
+        assert usec_brute([(0.0, 0.0)], [(0.5, 0.5)]) is True
+
+    def test_no_instance(self):
+        assert usec_brute([(0.0, 0.0)], [(2.0, 2.0)]) is False
+
+    def test_boundary_inclusive(self):
+        assert usec_brute([(0.0, 0.0)], [(1.0, 0.0)]) is True
+
+    def test_ls_instance_generator_is_separated(self):
+        inst = random_usec_ls_instance(20, 20, 3, seed=1)
+        assert inst.is_line_separated()
+        assert all(p[0] <= 0 for p in inst.red)
+        assert all(p[0] >= 0 for p in inst.blue)
+
+    def test_usec_generator_size(self):
+        inst = random_usec_instance(10, 15, 2, seed=2)
+        assert len(inst.red) == 10 and len(inst.blue) == 15
+        assert inst.size == 25
+
+
+class TestLemma1DivideAndConquer:
+    """usec_via_ls_oracle must agree with brute force on any instance."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_random_instances(self, seed, dim):
+        inst = random_usec_instance(12, 12, dim, extent=6.0, seed=seed)
+        want = usec_brute(inst.red, inst.blue)
+        got = usec_via_ls_oracle(inst.red, inst.blue, usec_ls_brute)
+        assert got == want
+
+    def test_oracle_receives_separated_inputs(self):
+        """Every oracle call in the recursion must be line-separable."""
+        calls = []
+
+        def spy_oracle(red, blue):
+            calls.append((list(red), list(blue)))
+            return usec_ls_brute(red, blue)
+
+        inst = random_usec_instance(16, 16, 2, extent=5.0, seed=42)
+        usec_via_ls_oracle(inst.red, inst.blue, spy_oracle)
+        for red, blue in calls:
+            max_red = max(p[0] for p in red)
+            min_blue = min(p[0] for p in blue)
+            max_blue = max(p[0] for p in blue)
+            min_red = min(p[0] for p in red)
+            assert max_red <= min_blue or max_blue <= min_red
+
+
+class TestLemma2Reduction:
+    """Solving USEC-LS through the fully-dynamic clusterer."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_matches_brute(self, seed, dim):
+        inst = random_usec_ls_instance(15, 15, dim, extent=3.0, seed=seed)
+        want = usec_ls_brute(inst.red, inst.blue)
+        got = solve_usec_ls_with_clusterer(
+            inst.red, inst.blue, make_reduction_clusterer
+        )
+        assert got == want
+
+    def test_empty_instances(self):
+        assert solve_usec_ls_with_clusterer([], [(1.0, 0.0)], make_reduction_clusterer) is False
+        assert solve_usec_ls_with_clusterer([(-1.0, 0.0)], [], make_reduction_clusterer) is False
+
+    def test_single_touching_pair(self):
+        red = [(-0.3, 0.0)]
+        blue = [(0.3, 0.0)]
+        assert solve_usec_ls_with_clusterer(red, blue, make_reduction_clusterer)
+
+    def test_single_distant_pair(self):
+        red = [(-2.0, 0.0)]
+        blue = [(2.0, 0.0)]
+        assert not solve_usec_ls_with_clusterer(red, blue, make_reduction_clusterer)
+
+    def test_dataset_restored_between_probes(self):
+        """The reduction's delete step must leave earlier probes unaffected:
+        a late 'yes' pair is still detected after many 'no' probes."""
+        red = [(-0.1, float(i)) for i in range(5)]
+        blue = [(3.0, float(i)) for i in range(4)] + [(0.4, 0.0)]
+        assert solve_usec_ls_with_clusterer(red, blue, make_reduction_clusterer)
+
+    def test_full_pipeline_usec_via_dynamic_clustering(self):
+        """End-to-end Lemma 1 + Lemma 2: USEC solved by dynamic clustering."""
+
+        def clusterer_oracle(red, blue):
+            return solve_usec_ls_with_clusterer(red, blue, make_reduction_clusterer)
+
+        for seed in range(4):
+            inst = random_usec_instance(8, 8, 2, extent=4.0, seed=seed)
+            want = usec_brute(inst.red, inst.blue)
+            got = usec_via_ls_oracle(inst.red, inst.blue, clusterer_oracle)
+            assert got == want
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.tuples(st.floats(-3, -0.01), st.floats(0, 3)), min_size=1, max_size=10),
+    st.lists(st.tuples(st.floats(0.01, 3), st.floats(0, 3)), min_size=1, max_size=10),
+)
+def test_hypothesis_reduction_matches_brute(red, blue):
+    want = usec_ls_brute(red, blue)
+    got = solve_usec_ls_with_clusterer(red, blue, make_reduction_clusterer)
+    assert got == want

@@ -1,0 +1,256 @@
+"""Tests for HDT dynamic connectivity, including the naive-oracle duel."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.connectivity.hdt import HDTConnectivity
+from repro.connectivity.naive import NaiveConnectivity
+
+
+class TestBasics:
+    def test_vertices(self):
+        h = HDTConnectivity()
+        h.add_vertex("a")
+        assert "a" in h and len(h) == 1
+        h.remove_vertex("a")
+        assert "a" not in h
+
+    def test_add_duplicate_vertex_raises(self):
+        h = HDTConnectivity()
+        h.add_vertex(1)
+        with pytest.raises(KeyError):
+            h.add_vertex(1)
+
+    def test_remove_vertex_with_edges_raises(self):
+        h = HDTConnectivity()
+        h.insert_edge(1, 2)
+        with pytest.raises(ValueError):
+            h.remove_vertex(1)
+
+    def test_self_loop_rejected(self):
+        h = HDTConnectivity()
+        h.add_vertex(1)
+        with pytest.raises(ValueError):
+            h.insert_edge(1, 1)
+
+    def test_duplicate_edge_rejected(self):
+        h = HDTConnectivity()
+        h.insert_edge(1, 2)
+        with pytest.raises(KeyError):
+            h.insert_edge(2, 1)
+
+    def test_delete_missing_edge_raises(self):
+        h = HDTConnectivity()
+        h.add_vertex(1)
+        h.add_vertex(2)
+        with pytest.raises(KeyError):
+            h.delete_edge(1, 2)
+
+    def test_simple_connectivity(self):
+        h = HDTConnectivity()
+        h.insert_edge(1, 2)
+        h.insert_edge(2, 3)
+        assert h.connected(1, 3)
+        h.delete_edge(2, 3)
+        assert not h.connected(1, 3)
+        assert h.connected(1, 2)
+
+    def test_cycle_then_tree_edge_deletion_finds_replacement(self):
+        h = HDTConnectivity()
+        h.insert_edge(1, 2)
+        h.insert_edge(2, 3)
+        h.insert_edge(3, 1)  # non-tree edge closes the cycle
+        h.delete_edge(1, 2)  # tree edge; (3,1) must replace it
+        assert h.connected(1, 2)
+        h.delete_edge(2, 3)
+        assert not h.connected(2, 3)
+
+    def test_edge_count(self):
+        h = HDTConnectivity()
+        h.insert_edge(1, 2)
+        h.insert_edge(2, 3)
+        h.insert_edge(3, 1)
+        assert h.edge_count == 3
+        h.delete_edge(3, 1)
+        assert h.edge_count == 2
+
+    def test_component_id_consistency(self):
+        h = HDTConnectivity()
+        h.insert_edge(1, 2)
+        h.insert_edge(3, 4)
+        assert h.component_id(1) == h.component_id(2)
+        assert h.component_id(1) != h.component_id(3)
+
+    def test_component_size_and_vertices(self):
+        h = HDTConnectivity()
+        h.insert_edge(1, 2)
+        h.insert_edge(2, 3)
+        assert h.component_size(1) == 3
+        assert set(h.component_vertices(3)) == {1, 2, 3}
+
+    def test_vertex_auto_registration_on_edge(self):
+        h = HDTConnectivity()
+        h.insert_edge("x", "y")
+        assert "x" in h and "y" in h
+
+    def test_tuple_vertices(self):
+        h = HDTConnectivity()
+        h.insert_edge((0, 0), (0, 1))
+        assert h.connected((0, 0), (0, 1))
+
+
+class TestStructured:
+    def test_chain_break_everywhere(self):
+        for broken in range(9):
+            h = HDTConnectivity()
+            for i in range(9):
+                h.insert_edge(i, i + 1)
+            h.delete_edge(broken, broken + 1)
+            for a in range(10):
+                for b in range(10):
+                    same = (a <= broken) == (b <= broken)
+                    assert h.connected(a, b) == same
+
+    def test_complete_graph_stays_connected_until_last(self):
+        h = HDTConnectivity()
+        n = 7
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        for u, v in edges:
+            h.insert_edge(u, v)
+        rng = random.Random(1)
+        rng.shuffle(edges)
+        # Remove all but a spanning-tree-sized number; graph cannot
+        # disconnect while > binom(n-1, 2) edges remain.
+        for u, v in edges[: len(edges) - (n - 1)]:
+            h.delete_edge(u, v)
+        # With exactly n-1 random remaining edges connectivity is not
+        # guaranteed, but every deletion must have kept consistency:
+        naive = NaiveConnectivity()
+        for v in range(n):
+            naive.add_vertex(v)
+        for u, v in edges[len(edges) - (n - 1) :]:
+            naive.insert_edge(u, v)
+        for a in range(n):
+            for b in range(n):
+                assert h.connected(a, b) == naive.connected(a, b)
+
+    def test_levels_grow_only_logarithmically(self):
+        h = HDTConnectivity()
+        n = 64
+        rng = random.Random(3)
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < 0.2]
+        for u, v in edges:
+            h.insert_edge(u, v)
+        rng.shuffle(edges)
+        for u, v in edges:
+            h.delete_edge(u, v)
+        assert h.level_count <= 10  # ~log2(64) + slack
+
+    def test_repeated_insert_delete_same_edge(self):
+        h = HDTConnectivity()
+        for _ in range(50):
+            h.insert_edge("a", "b")
+            assert h.connected("a", "b")
+            h.delete_edge("a", "b")
+            assert not h.connected("a", "b")
+
+
+class TestOracleDuel:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_churn_matches_naive(self, seed):
+        rng = random.Random(seed)
+        h = HDTConnectivity(seed=seed)
+        naive = NaiveConnectivity()
+        n = 30
+        for v in range(n):
+            h.add_vertex(v)
+            naive.add_vertex(v)
+        edges = set()
+        for step in range(1200):
+            if edges and rng.random() < 0.45:
+                e = rng.choice(sorted(edges))
+                edges.discard(e)
+                h.delete_edge(*e)
+                naive.delete_edge(*e)
+            else:
+                u, v = rng.sample(range(n), 2)
+                e = (min(u, v), max(u, v))
+                if e in edges:
+                    continue
+                edges.add(e)
+                h.insert_edge(*e)
+                naive.insert_edge(*e)
+            if step % 60 == 0:
+                for _ in range(10):
+                    a, b = rng.sample(range(n), 2)
+                    assert h.connected(a, b) == naive.connected(a, b)
+
+    def test_component_partitions_match_naive(self):
+        rng = random.Random(9)
+        h = HDTConnectivity(seed=9)
+        naive = NaiveConnectivity()
+        n = 25
+        for v in range(n):
+            h.add_vertex(v)
+            naive.add_vertex(v)
+        edges = set()
+        for step in range(600):
+            if edges and rng.random() < 0.5:
+                e = rng.choice(sorted(edges))
+                edges.discard(e)
+                h.delete_edge(*e)
+                naive.delete_edge(*e)
+            else:
+                u, v = rng.sample(range(n), 2)
+                e = (min(u, v), max(u, v))
+                if e in edges:
+                    continue
+                edges.add(e)
+                h.insert_edge(*e)
+                naive.insert_edge(*e)
+            if step % 100 == 0:
+                part_h = {}
+                part_n = {}
+                for v in range(n):
+                    part_h.setdefault(h.component_id(v), set()).add(v)
+                    part_n.setdefault(naive.component_id(v), set()).add(v)
+                assert frozenset(map(frozenset, part_h.values())) == frozenset(
+                    map(frozenset, part_n.values())
+                )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.booleans(), st.integers(0, 11), st.integers(0, 11)
+        ),
+        max_size=120,
+    )
+)
+def test_hypothesis_hdt_vs_naive(script):
+    h = HDTConnectivity(seed=4)
+    naive = NaiveConnectivity()
+    for v in range(12):
+        h.add_vertex(v)
+        naive.add_vertex(v)
+    edges = set()
+    for is_insert, u, v in script:
+        if u == v:
+            continue
+        e = (min(u, v), max(u, v))
+        if is_insert and e not in edges:
+            edges.add(e)
+            h.insert_edge(*e)
+            naive.insert_edge(*e)
+        elif not is_insert and e in edges:
+            edges.discard(e)
+            h.delete_edge(*e)
+            naive.delete_edge(*e)
+    for a in range(12):
+        for b in range(a + 1, 12):
+            assert h.connected(a, b) == naive.connected(a, b)

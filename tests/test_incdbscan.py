@@ -1,0 +1,175 @@
+"""Tests for the IncDBSCAN baseline: it maintains *exact* DBSCAN."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.baselines.static_dbscan import dbscan_brute
+
+from conftest import assert_matches_static, clustered_points, random_points
+
+
+class TestBasics:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            IncDBSCAN(0.0, 3)
+        with pytest.raises(ValueError):
+            IncDBSCAN(1.0, 0)
+
+    def test_dimension_mismatch(self):
+        algo = IncDBSCAN(1.0, 3, dim=2)
+        with pytest.raises(ValueError):
+            algo.insert((1.0,))
+
+    def test_single_insert_noise(self):
+        algo = IncDBSCAN(1.0, 3)
+        pid = algo.insert((0.0, 0.0))
+        assert not algo.is_core(pid)
+        assert algo.cgroup_by([pid]).noise == [pid]
+
+    def test_core_formation(self):
+        algo = IncDBSCAN(1.0, 3)
+        ids = [algo.insert(p) for p in [(0, 0), (0.5, 0), (0, 0.5)]]
+        assert all(algo.is_core(pid) for pid in ids)
+        result = algo.cgroup_by(ids)
+        assert len(result.groups) == 1
+
+    def test_merge_on_insert(self):
+        algo = IncDBSCAN(1.0, 2, dim=1)
+        a = algo.insert((0.0,))
+        b = algo.insert((0.5,))
+        c = algo.insert((3.0,))
+        d = algo.insert((3.5,))
+        assert not algo.same_cluster(a, c)
+        algo.insert((1.5,))
+        algo.insert((2.3,))
+        assert algo.same_cluster(a, c)
+
+    def test_split_on_delete(self):
+        algo = IncDBSCAN(1.0, 2, dim=1)
+        ids = [algo.insert((float(i),)) for i in range(9)]
+        assert len(algo.clusters().clusters) == 1
+        algo.delete(ids[4])
+        clustering = algo.clusters()
+        assert len(clustering.clusters) == 2
+
+    def test_cluster_vanishes_when_sole_core_removed(self):
+        algo = IncDBSCAN(1.0, 3, dim=1)
+        center = algo.insert((0.0,))
+        left = algo.insert((-0.9,))
+        right = algo.insert((0.9,))
+        assert algo.is_core(center)
+        assert not algo.is_core(left)
+        algo.delete(center)
+        result = algo.cgroup_by([left, right])
+        assert set(result.noise) == {left, right}
+
+    def test_range_query_counter_increments(self):
+        algo = IncDBSCAN(1.0, 3)
+        before = algo.range_queries
+        algo.insert((0.0, 0.0))
+        assert algo.range_queries == before + 1
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_insert_only(self, seed, dim):
+        pts = random_points(110, dim, extent=10.0, seed=seed)
+        algo = IncDBSCAN(1.5, 4, dim=dim)
+        ids = [algo.insert(p) for p in pts]
+        idmap = {pid: i for i, pid in enumerate(ids)}
+        assert_matches_static(algo.clusters(), idmap, dbscan_brute(pts, 1.5, 4))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_churn(self, seed):
+        rng = random.Random(seed)
+        pts = clustered_points(130, 2, seed=seed + 50)
+        algo = IncDBSCAN(2.0, 4, dim=2)
+        live = {}
+        for i, p in enumerate(pts):
+            live[algo.insert(p)] = p
+            if i % 3 == 2:
+                victim = rng.choice(sorted(live))
+                algo.delete(victim)
+                del live[victim]
+        keys = sorted(live)
+        idmap = {pid: i for i, pid in enumerate(keys)}
+        ref = dbscan_brute([live[k] for k in keys], 2.0, 4)
+        assert_matches_static(algo.clusters(), idmap, ref)
+
+    def test_interleaved_prefixes(self):
+        rng = random.Random(8)
+        pts = clustered_points(80, 2, seed=88)
+        algo = IncDBSCAN(2.0, 4, dim=2)
+        live = {}
+        for i, p in enumerate(pts):
+            live[algo.insert(p)] = p
+            if rng.random() < 0.35 and live:
+                victim = rng.choice(sorted(live))
+                algo.delete(victim)
+                del live[victim]
+            if i % 12 == 11:
+                keys = sorted(live)
+                idmap = {pid: j for j, pid in enumerate(keys)}
+                ref = dbscan_brute([live[k] for k in keys], 2.0, 4)
+                assert_matches_static(algo.clusters(), idmap, ref)
+
+    def test_matches_fully_dynamic_exact(self):
+        """IncDBSCAN and our fully-dynamic rho=0 clusterer agree exactly."""
+        from repro.core.fullydynamic import FullyDynamicClusterer
+
+        rng = random.Random(17)
+        pts = clustered_points(100, 2, seed=17)
+        inc = IncDBSCAN(2.0, 5, dim=2)
+        ours = FullyDynamicClusterer(2.0, 5, rho=0.0, dim=2)
+        inc_live, ours_live = {}, {}
+        for i, p in enumerate(pts):
+            inc_live[inc.insert(p)] = i
+            ours_live[ours.insert(p)] = i
+            if i % 4 == 3:
+                keys = sorted(inc_live.values())
+                victim_idx = rng.choice(keys)
+                inc_pid = next(k for k, v in inc_live.items() if v == victim_idx)
+                ours_pid = next(k for k, v in ours_live.items() if v == victim_idx)
+                inc.delete(inc_pid)
+                ours.delete(ours_pid)
+                del inc_live[inc_pid]
+                del ours_live[ours_pid]
+        canon_inc = frozenset(
+            frozenset(inc_live[p] for p in c) for c in inc.clusters().clusters
+        )
+        canon_ours = frozenset(
+            frozenset(ours_live[p] for p in c) for c in ours.clusters().clusters
+        )
+        assert canon_inc == canon_ours
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 10), st.floats(0, 10)),
+        min_size=1,
+        max_size=35,
+    ),
+    st.data(),
+)
+def test_hypothesis_incdbscan_churn(cloud, data):
+    algo = IncDBSCAN(2.0, 3, dim=2)
+    live = {}
+    for p in cloud:
+        live[algo.insert(p)] = p
+    victims = data.draw(
+        st.lists(st.sampled_from(sorted(live)), unique=True, max_size=len(live))
+    )
+    for pid in victims:
+        algo.delete(pid)
+        del live[pid]
+    keys = sorted(live)
+    idmap = {pid: i for i, pid in enumerate(keys)}
+    ref = dbscan_brute([live[k] for k in keys], 2.0, 3)
+    assert_matches_static(algo.clusters(), idmap, ref)

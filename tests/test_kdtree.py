@@ -1,0 +1,203 @@
+"""Tests for the dynamic kd-tree against brute-force oracles."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.kdtree import DynamicKDTree
+from repro.geometry.points import sq_dist
+
+
+def brute_ball(points, q, sq_radius):
+    return {pid for pid, p in points.items() if sq_dist(p, q) <= sq_radius}
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = DynamicKDTree(2)
+        assert len(tree) == 0
+        assert tree.find_within((0.0, 0.0), 1.0, 1.0) is None
+        assert tree.count_fuzzy((0.0, 0.0), 1.0, 1.0) == 0
+        assert tree.ball_ids((0.0, 0.0), 1.0) == []
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            DynamicKDTree(0)
+
+    def test_insert_and_contains(self):
+        tree = DynamicKDTree(2)
+        tree.insert(1, (0.5, 0.5))
+        assert 1 in tree
+        assert len(tree) == 1
+        assert tree.point(1) == (0.5, 0.5)
+
+    def test_duplicate_id_rejected(self):
+        tree = DynamicKDTree(2)
+        tree.insert(1, (0.0, 0.0))
+        with pytest.raises(KeyError):
+            tree.insert(1, (1.0, 1.0))
+
+    def test_delete(self):
+        tree = DynamicKDTree(2)
+        tree.insert(1, (0.0, 0.0))
+        tree.delete(1)
+        assert 1 not in tree
+        assert tree.find_within((0.0, 0.0), 1.0, 1.0) is None
+
+    def test_delete_missing_raises(self):
+        tree = DynamicKDTree(2)
+        with pytest.raises(KeyError):
+            tree.delete(99)
+
+    def test_duplicate_coordinates_allowed(self):
+        tree = DynamicKDTree(2)
+        for i in range(30):
+            tree.insert(i, (1.0, 1.0))
+        assert len(tree) == 30
+        assert tree.count_fuzzy((1.0, 1.0), 0.01, 0.01) == 30
+        for i in range(30):
+            tree.delete(i)
+        assert len(tree) == 0
+
+    def test_find_within_exact_when_equal_radii(self):
+        tree = DynamicKDTree(1)
+        tree.insert(0, (0.0,))
+        tree.insert(1, (5.0,))
+        assert tree.find_within((4.2,), 1.0, 1.0) == 1
+        assert tree.find_within((2.5,), 1.0, 1.0) is None
+
+    def test_count_saturates_with_stop_at(self):
+        tree = DynamicKDTree(2)
+        for i in range(100):
+            tree.insert(i, (0.0, float(i) * 0.001))
+        count = tree.count_fuzzy((0.0, 0.0), 1.0, 1.0, stop_at=5)
+        assert count >= 5
+
+
+class TestContractRandomized:
+    """The emptiness / fuzzy-count contracts on random data."""
+
+    @pytest.mark.parametrize("dim", [1, 2, 3, 5])
+    @pytest.mark.parametrize("rho", [0.0, 0.5])
+    def test_find_within_contract(self, dim, rho):
+        rng = random.Random(dim * 100 + int(rho * 10))
+        tree = DynamicKDTree(dim)
+        points = {}
+        for pid in range(200):
+            p = tuple(rng.random() * 10 for _ in range(dim))
+            points[pid] = p
+            tree.insert(pid, p)
+        eps = 1.0
+        sq_eps = eps * eps
+        relaxed = eps * (1 + rho)
+        sq_relaxed = relaxed * relaxed
+        for _ in range(100):
+            q = tuple(rng.random() * 10 for _ in range(dim))
+            got = tree.find_within(q, sq_eps, sq_relaxed)
+            tight = brute_ball(points, q, sq_eps)
+            if tight:
+                assert got is not None, "must find a point when one is <= eps"
+            if got is not None:
+                assert sq_dist(points[got], q) <= sq_relaxed * (1 + 1e-12)
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    @pytest.mark.parametrize("rho", [0.0, 0.25])
+    def test_count_fuzzy_contract(self, dim, rho):
+        rng = random.Random(dim * 7 + int(rho * 100))
+        tree = DynamicKDTree(dim)
+        points = {}
+        for pid in range(300):
+            p = tuple(rng.random() * 8 for _ in range(dim))
+            points[pid] = p
+            tree.insert(pid, p)
+        eps = 1.0
+        relaxed = eps * (1 + rho)
+        for _ in range(60):
+            q = tuple(rng.random() * 8 for _ in range(dim))
+            k = tree.count_fuzzy(q, eps * eps, relaxed * relaxed)
+            lo = len(brute_ball(points, q, eps * eps))
+            hi = len(brute_ball(points, q, relaxed * relaxed))
+            assert lo <= k <= hi
+
+    def test_ball_ids_exact_after_churn(self):
+        rng = random.Random(99)
+        tree = DynamicKDTree(2)
+        points = {}
+        next_id = 0
+        for step in range(2000):
+            if points and rng.random() < 0.4:
+                pid = rng.choice(list(points))
+                tree.delete(pid)
+                del points[pid]
+            else:
+                p = (rng.random() * 5, rng.random() * 5)
+                tree.insert(next_id, p)
+                points[next_id] = p
+                next_id += 1
+            if step % 100 == 0:
+                q = (rng.random() * 5, rng.random() * 5)
+                assert set(tree.ball_ids(q, 1.0)) == brute_ball(points, q, 1.0)
+
+    def test_rebuild_preserves_contents(self):
+        rng = random.Random(5)
+        tree = DynamicKDTree(3)
+        points = {}
+        for pid in range(500):
+            p = tuple(rng.random() for _ in range(3))
+            points[pid] = p
+            tree.insert(pid, p)
+        for pid in range(0, 500, 2):
+            tree.delete(pid)
+            del points[pid]
+        tree.rebuild()
+        assert set(tree.ids()) == set(points)
+        q = (0.5, 0.5, 0.5)
+        assert set(tree.ball_ids(q, 0.1)) == brute_ball(points, q, 0.1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 10), st.floats(0, 10)),
+        min_size=0,
+        max_size=60,
+    ),
+    st.tuples(st.floats(0, 10), st.floats(0, 10)),
+    st.floats(0.1, 5.0),
+)
+def test_hypothesis_ball_ids_match_brute(cloud, q, radius):
+    tree = DynamicKDTree(2)
+    points = {}
+    for pid, p in enumerate(cloud):
+        tree.insert(pid, p)
+        points[pid] = p
+    expected = brute_ball(points, q, radius * radius)
+    assert set(tree.ball_ids(q, radius * radius)) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(st.floats(0, 4), st.floats(0, 4)), min_size=1, max_size=50),
+    st.data(),
+)
+def test_hypothesis_deletion_sequences(cloud, data):
+    """Insert everything, delete a subset, queries match brute force."""
+    tree = DynamicKDTree(2)
+    points = {}
+    for pid, p in enumerate(cloud):
+        tree.insert(pid, p)
+        points[pid] = p
+    victims = data.draw(
+        st.lists(st.sampled_from(sorted(points)), unique=True, max_size=len(points))
+    )
+    for pid in victims:
+        tree.delete(pid)
+        del points[pid]
+    q = data.draw(st.tuples(st.floats(0, 4), st.floats(0, 4)))
+    assert set(tree.ball_ids(q, 1.0)) == brute_ball(points, q, 1.0)
+    got = tree.find_within(q, 1.0, 1.0)
+    tight = brute_ball(points, q, 1.0)
+    assert (got is not None) == bool(tight)

@@ -1,0 +1,98 @@
+"""Tests for the recompute-on-query baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.naive_dynamic import RecomputeClusterer
+from repro.baselines.static_dbscan import dbscan_brute
+from repro.core.fullydynamic import FullyDynamicClusterer
+
+from conftest import assert_matches_static, clustered_points
+
+
+class TestBasics:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RecomputeClusterer(0.0, 3)
+        with pytest.raises(ValueError):
+            RecomputeClusterer(1.0, 0)
+
+    def test_dimension_check(self):
+        algo = RecomputeClusterer(1.0, 3, dim=2)
+        with pytest.raises(ValueError):
+            algo.insert((1.0,))
+
+    def test_roundtrip(self):
+        algo = RecomputeClusterer(1.0, 2, dim=1)
+        a = algo.insert((0.0,))
+        b = algo.insert((0.5,))
+        assert algo.same_cluster(a, b)
+        algo.delete(b)
+        assert len(algo) == 1
+        assert algo.cgroup_by([a]).noise == [a]
+
+    def test_unknown_pid_raises(self):
+        algo = RecomputeClusterer(1.0, 2)
+        with pytest.raises(KeyError):
+            algo.cgroup_by([99])
+
+    def test_cache_invalidation_counts(self):
+        algo = RecomputeClusterer(1.0, 2, dim=1)
+        ids = [algo.insert((float(i),)) for i in range(5)]
+        algo.clusters()
+        algo.clusters()  # cached: no recompute
+        assert algo.recomputations == 1
+        algo.delete(ids[0])
+        algo.clusters()
+        assert algo.recomputations == 2
+
+    def test_is_core(self):
+        algo = RecomputeClusterer(1.0, 3, dim=1)
+        ids = [algo.insert((0.1 * i,)) for i in range(3)]
+        assert all(algo.is_core(pid) for pid in ids)
+
+
+class TestEquivalence:
+    def test_matches_brute_after_churn(self):
+        rng = random.Random(1)
+        pts = clustered_points(90, 2, seed=1)
+        algo = RecomputeClusterer(2.0, 4, dim=2)
+        live = {}
+        for i, p in enumerate(pts):
+            live[algo.insert(p)] = p
+            if i % 3 == 2:
+                victim = rng.choice(sorted(live))
+                algo.delete(victim)
+                del live[victim]
+        keys = sorted(live)
+        idmap = {pid: i for i, pid in enumerate(keys)}
+        ref = dbscan_brute([live[k] for k in keys], 2.0, 4)
+        assert_matches_static(algo.clusters(), idmap, ref)
+
+    def test_agrees_with_fully_dynamic_exact(self):
+        rng = random.Random(2)
+        pts = clustered_points(80, 2, seed=2)
+        naive = RecomputeClusterer(2.0, 4, dim=2)
+        fast = FullyDynamicClusterer(2.0, 4, rho=0.0, dim=2)
+        naive_live, fast_live = {}, {}
+        for i, p in enumerate(pts):
+            naive_live[naive.insert(p)] = i
+            fast_live[fast.insert(p)] = i
+            if i % 4 == 3:
+                idx = rng.choice(sorted(naive_live.values()))
+                npid = next(k for k, v in naive_live.items() if v == idx)
+                fpid = next(k for k, v in fast_live.items() if v == idx)
+                naive.delete(npid)
+                fast.delete(fpid)
+                del naive_live[npid]
+                del fast_live[fpid]
+        canon_naive = frozenset(
+            frozenset(naive_live[p] for p in c) for c in naive.clusters().clusters
+        )
+        canon_fast = frozenset(
+            frozenset(fast_live[p] for p in c) for c in fast.clusters().clusters
+        )
+        assert canon_naive == canon_fast

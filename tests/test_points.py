@@ -1,0 +1,110 @@
+"""Unit and property tests for repro.geometry.points."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.points import (
+    box_inside_ball,
+    box_max_sq_dist,
+    box_min_sq_dist,
+    box_of_points,
+    boxes_min_sq_dist,
+    dist,
+    sq_dist,
+)
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+def pts(dim: int):
+    return st.tuples(*([coords] * dim))
+
+
+class TestSqDist:
+    def test_zero_for_identical(self):
+        assert sq_dist((1.0, 2.0), (1.0, 2.0)) == 0.0
+
+    def test_known_345(self):
+        assert sq_dist((0.0, 0.0), (3.0, 4.0)) == 25.0
+        assert dist((0.0, 0.0), (3.0, 4.0)) == 5.0
+
+    def test_one_dimension(self):
+        assert sq_dist((2.0,), (5.0,)) == 9.0
+
+    def test_high_dimension(self):
+        a = tuple([0.0] * 7)
+        b = tuple([1.0] * 7)
+        assert sq_dist(a, b) == pytest.approx(7.0)
+
+    @given(pts(3), pts(3))
+    def test_symmetry(self, p, q):
+        assert sq_dist(p, q) == sq_dist(q, p)
+
+    @given(pts(2), pts(2), pts(2))
+    def test_triangle_inequality(self, a, b, c):
+        assert dist(a, c) <= dist(a, b) + dist(b, c) + 1e-6
+
+    @given(pts(4))
+    def test_consistency_with_math(self, p):
+        q = tuple(0.0 for _ in p)
+        expected = math.sqrt(sum(x * x for x in p))
+        assert dist(p, q) == pytest.approx(expected, rel=1e-12)
+
+
+class TestBoxes:
+    def test_box_of_single_point(self):
+        lo, hi = box_of_points([(1.0, 2.0)])
+        assert lo == (1.0, 2.0) and hi == (1.0, 2.0)
+
+    def test_box_of_points_envelops(self):
+        lo, hi = box_of_points([(0.0, 5.0), (3.0, 1.0), (-1.0, 2.0)])
+        assert lo == (-1.0, 1.0)
+        assert hi == (3.0, 5.0)
+
+    def test_box_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            box_of_points([])
+
+    def test_min_dist_inside_is_zero(self):
+        box = ((0.0, 0.0), (2.0, 2.0))
+        assert box_min_sq_dist(box, (1.0, 1.0)) == 0.0
+
+    def test_min_dist_outside_corner(self):
+        box = ((0.0, 0.0), (1.0, 1.0))
+        assert box_min_sq_dist(box, (2.0, 2.0)) == pytest.approx(2.0)
+
+    def test_max_dist_from_center(self):
+        box = ((0.0, 0.0), (2.0, 2.0))
+        assert box_max_sq_dist(box, (1.0, 1.0)) == pytest.approx(2.0)
+
+    def test_inside_ball_true(self):
+        box = ((0.0, 0.0), (1.0, 1.0))
+        assert box_inside_ball(box, (0.5, 0.5), 0.51)
+
+    def test_inside_ball_false(self):
+        box = ((0.0, 0.0), (1.0, 1.0))
+        assert not box_inside_ball(box, (0.5, 0.5), 0.49)
+
+    def test_boxes_min_dist_overlapping(self):
+        a = ((0.0, 0.0), (2.0, 2.0))
+        b = ((1.0, 1.0), (3.0, 3.0))
+        assert boxes_min_sq_dist(a, b) == 0.0
+
+    def test_boxes_min_dist_disjoint(self):
+        a = ((0.0, 0.0), (1.0, 1.0))
+        b = ((3.0, 0.0), (4.0, 1.0))
+        assert boxes_min_sq_dist(a, b) == pytest.approx(4.0)
+
+    @given(st.lists(pts(3), min_size=1, max_size=20), pts(3))
+    def test_min_le_point_dists_le_max(self, cloud, q):
+        box = box_of_points(cloud)
+        lo = box_min_sq_dist(box, q)
+        hi = box_max_sq_dist(box, q)
+        for p in cloud:
+            d = sq_dist(p, q)
+            assert lo <= d * (1 + 1e-9) + 1e-9
+            assert d <= hi * (1 + 1e-9) + 1e-9

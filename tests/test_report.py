@@ -1,0 +1,95 @@
+"""Tests for the benchmark-results report renderer."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workload.report import (
+    parse_results_file,
+    render_figure,
+    render_report,
+)
+
+SERIES_FILE = """# Figure X: demo, d=2, N=100
+
+# Algo-A
+t\tavgcost_us\tmaxupdcost_us
+50\t10.00\t100.00
+100\t12.00\t150.00
+
+# IncDBSCAN
+t\tavgcost_us\tmaxupdcost_us
+50\t100.00\t500.00
+100\t120.00\t900.00
+"""
+
+SWEEP_FILE = """# Figure Y: sweep demo
+
+x\talgorithm\tavg_workload_cost_us
+eps=50\tAlgo-A\t10.00
+eps=50\tIncDBSCAN\t90.00
+eps=100\tAlgo-A\t8.00
+eps=100\tIncDBSCAN\t96.00
+"""
+
+
+@pytest.fixture
+def series_path(tmp_path) -> Path:
+    p = tmp_path / "figx.txt"
+    p.write_text(SERIES_FILE)
+    return p
+
+
+@pytest.fixture
+def sweep_path(tmp_path) -> Path:
+    p = tmp_path / "figy.txt"
+    p.write_text(SWEEP_FILE)
+    return p
+
+
+class TestParsing:
+    def test_parse_series(self, series_path):
+        data = parse_results_file(series_path)
+        assert data.header.startswith("Figure X")
+        assert [b.name for b in data.series] == ["Algo-A", "IncDBSCAN"]
+        assert data.series[0].rows == [(50, 10.0, 100.0), (100, 12.0, 150.0)]
+        assert data.series[0].first_avg == 10.0
+        assert data.series[0].last_avg == 12.0
+        assert data.series[1].max_update == 900.0
+
+    def test_parse_sweep(self, sweep_path):
+        data = parse_results_file(sweep_path)
+        assert data.header.startswith("Figure Y")
+        assert len(data.sweep) == 4
+        assert data.sweep[0].x == "eps=50"
+        assert data.sweep[0].cost == 10.0
+
+
+class TestRendering:
+    def test_render_series_includes_win_factor(self, series_path):
+        lines = render_figure(parse_results_file(series_path))
+        text = "\n".join(lines)
+        assert "| Algo-A | 10.0 | 12.0 | 150.0 |" in text
+        assert "10.0x" in text  # 120 / 12
+
+    def test_render_sweep_matrix(self, sweep_path):
+        text = "\n".join(render_figure(parse_results_file(sweep_path)))
+        assert "| eps=100 | 8.0 | 96.0 | 12.0x |" in text
+
+    def test_render_report_over_directory(self, series_path, sweep_path):
+        report = render_report(series_path.parent)
+        assert "Figure X" in report
+        assert "Figure Y" in report
+        assert report.startswith("# Measured benchmark series")
+
+    def test_render_report_empty_dir(self, tmp_path):
+        assert "no results files" in render_report(tmp_path)
+
+    def test_real_results_parse_if_present(self):
+        results = Path(__file__).parent.parent / "benchmarks" / "results"
+        if not results.exists():
+            pytest.skip("benchmarks not yet run")
+        report = render_report(results)
+        assert "Figure" in report or "Table" in report

@@ -1,0 +1,114 @@
+"""Tests for the R-tree substrate used by IncDBSCAN."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.points import sq_dist
+from repro.geometry.rtree import RTree
+
+
+def brute_ball(points, q, sq_radius):
+    return {pid for pid, p in points.items() if sq_dist(p, q) <= sq_radius}
+
+
+class TestBasics:
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            RTree(0)
+
+    def test_empty_queries(self):
+        t = RTree(2)
+        assert t.ball_ids((0.0, 0.0), 100.0) == []
+        assert t.ball_count((0.0, 0.0), 100.0) == 0
+
+    def test_single_point(self):
+        t = RTree(2)
+        t.insert(0, (1.0, 1.0))
+        assert t.ball_ids((1.0, 1.0), 0.0) == [0]
+        assert 0 in t and len(t) == 1
+        assert t.point(0) == (1.0, 1.0)
+
+    def test_duplicate_id_rejected(self):
+        t = RTree(2)
+        t.insert(0, (0.0, 0.0))
+        with pytest.raises(KeyError):
+            t.insert(0, (1.0, 1.0))
+
+    def test_delete_then_gone(self):
+        t = RTree(2)
+        t.insert(0, (0.0, 0.0))
+        t.delete(0)
+        assert len(t) == 0
+        assert t.ball_ids((0.0, 0.0), 1.0) == []
+
+    def test_splits_on_overflow(self):
+        t = RTree(2)
+        for i in range(200):
+            t.insert(i, (float(i % 20), float(i // 20)))
+        assert len(t) == 200
+        got = set(t.ball_ids((10.0, 5.0), 4.0))
+        pts = {i: (float(i % 20), float(i // 20)) for i in range(200)}
+        assert got == brute_ball(pts, (10.0, 5.0), 4.0)
+
+    def test_identical_points_split_fallback(self):
+        t = RTree(2)
+        for i in range(60):
+            t.insert(i, (3.0, 3.0))
+        assert t.ball_count((3.0, 3.0), 0.0) == 60
+        for i in range(60):
+            t.delete(i)
+        assert len(t) == 0
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 5])
+    def test_matches_brute_force(self, dim):
+        rng = random.Random(dim)
+        t = RTree(dim)
+        pts = {}
+        for pid in range(300):
+            p = tuple(rng.random() * 10 for _ in range(dim))
+            pts[pid] = p
+            t.insert(pid, p)
+        for _ in range(50):
+            q = tuple(rng.random() * 10 for _ in range(dim))
+            r = rng.random() * 3
+            assert set(t.ball_ids(q, r * r)) == brute_ball(pts, q, r * r)
+
+    def test_churn_matches_brute_force(self):
+        rng = random.Random(123)
+        t = RTree(2)
+        pts = {}
+        next_id = 0
+        for step in range(1500):
+            if pts and rng.random() < 0.45:
+                pid = rng.choice(list(pts))
+                t.delete(pid)
+                del pts[pid]
+            else:
+                p = (rng.random() * 6, rng.random() * 6)
+                t.insert(next_id, p)
+                pts[next_id] = p
+                next_id += 1
+            if step % 75 == 0:
+                q = (rng.random() * 6, rng.random() * 6)
+                assert set(t.ball_ids(q, 2.0)) == brute_ball(pts, q, 2.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.tuples(st.floats(0, 8), st.floats(0, 8)), max_size=80),
+    st.tuples(st.floats(0, 8), st.floats(0, 8)),
+    st.floats(0.1, 4.0),
+)
+def test_hypothesis_matches_brute(cloud, q, radius):
+    t = RTree(2)
+    pts = {}
+    for pid, p in enumerate(cloud):
+        t.insert(pid, p)
+        pts[pid] = p
+    assert set(t.ball_ids(q, radius * radius)) == brute_ball(pts, q, radius * radius)

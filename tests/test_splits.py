@@ -1,0 +1,126 @@
+"""Crafted split topologies: the hardest deletions for every algorithm.
+
+Deletion-induced cluster splits are the paper's central difficulty (they
+force IncDBSCAN into multi-thread BFS and motivated the aBCP + HDT
+machinery).  These tests build geometries where a single deletion splits a
+cluster 2-, 3- and 4-ways, chains of articulation points, and repeated
+split/heal cycles, and check all dynamic algorithms against brute force.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.baselines.static_dbscan import dbscan_brute
+from repro.core.fullydynamic import FullyDynamicClusterer
+
+from conftest import assert_matches_static
+
+FACTORIES = [
+    lambda: FullyDynamicClusterer(1.0, 2, rho=0.0, dim=2),
+    lambda: IncDBSCAN(1.0, 2, dim=2),
+]
+IDS = ["full", "inc"]
+
+
+def star_arms(arms: int, length: int = 4, spacing: float = 0.8):
+    """A hub at the origin with ``arms`` rays; deleting the hub splits
+    the cluster ``arms`` ways."""
+    import math
+
+    pts = []
+    for a in range(arms):
+        angle = 2 * math.pi * a / arms
+        for step in range(1, length + 1):
+            pts.append(
+                (math.cos(angle) * spacing * step, math.sin(angle) * spacing * step)
+            )
+    return pts
+
+
+@pytest.mark.parametrize("factory", FACTORIES, ids=IDS)
+@pytest.mark.parametrize("arms", [2, 3, 4])
+class TestStarSplits:
+    def test_hub_deletion_splits_n_ways(self, factory, arms):
+        algo = factory()
+        arm_pts = star_arms(arms)
+        ids = [algo.insert(p) for p in arm_pts]
+        hub = algo.insert((0.0, 0.0))
+        assert len(algo.clusters().clusters) == 1
+        algo.delete(hub)
+        clustering = algo.clusters()
+        assert len(clustering.clusters) == arms
+        idmap = {pid: i for i, pid in enumerate(ids)}
+        assert_matches_static(clustering, idmap, dbscan_brute(arm_pts, 1.0, 2))
+
+    def test_reinsert_hub_heals(self, factory, arms):
+        algo = factory()
+        for p in star_arms(arms):
+            algo.insert(p)
+        hub = algo.insert((0.0, 0.0))
+        algo.delete(hub)
+        assert len(algo.clusters().clusters) == arms
+        algo.insert((0.0, 0.0))
+        assert len(algo.clusters().clusters) == 1
+
+
+@pytest.mark.parametrize("factory", FACTORIES, ids=IDS)
+class TestArticulationChains:
+    def test_delete_every_articulation_in_turn(self, factory):
+        """A chain of beads: deleting interior beads splits repeatedly."""
+        algo = factory()
+        pts = [(0.9 * i, 0.0) for i in range(12)]
+        ids = [algo.insert(p) for p in pts]
+        # Delete every third bead; each deletion adds one split.
+        removed = set()
+        for k in (3, 6, 9):
+            algo.delete(ids[k])
+            removed.add(k)
+            rest = [p for i, p in enumerate(pts) if i not in removed]
+            rest_ids = [pid for i, pid in enumerate(ids) if i not in removed]
+            idmap = {pid: i for i, pid in enumerate(rest_ids)}
+            assert_matches_static(
+                algo.clusters(), idmap, dbscan_brute(rest, 1.0, 2)
+            )
+
+    def test_split_heal_cycles(self, factory):
+        algo = factory()
+        ids = [algo.insert((0.9 * i, 0.0)) for i in range(9)]
+        mid = ids[4]
+        for _ in range(10):
+            algo.delete(mid)
+            assert len(algo.clusters().clusters) == 2
+            mid = algo.insert((0.9 * 4, 0.0))
+            assert len(algo.clusters().clusters) == 1
+
+
+class TestRandomArticulationStress:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_tree_shaped_clusters(self, seed):
+        """Random spanning-tree geometry: many articulation points, so
+        random deletions split constantly."""
+        rng = random.Random(seed)
+        algo = FullyDynamicClusterer(1.0, 2, rho=0.0, dim=2)
+        pts = [(0.0, 0.0)]
+        for _ in range(40):
+            base = rng.choice(pts)
+            angle = rng.uniform(0, 6.283)
+            import math
+
+            pts.append(
+                (base[0] + 0.85 * math.cos(angle), base[1] + 0.85 * math.sin(angle))
+            )
+        live = {algo.insert(p): p for p in pts}
+        order = sorted(live)
+        rng.shuffle(order)
+        for pid in order:
+            algo.delete(pid)
+            del live[pid]
+            if len(live) % 8 == 0:
+                keys = sorted(live)
+                idmap = {k: i for i, k in enumerate(keys)}
+                ref = dbscan_brute([live[k] for k in keys], 1.0, 2)
+                assert_matches_static(algo.clusters(), idmap, ref)

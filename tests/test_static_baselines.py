@@ -1,0 +1,135 @@
+"""Tests for static exact DBSCAN and static rho-approximate DBSCAN."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.static_dbscan import dbscan_brute, dbscan_grid
+from repro.baselines.static_rho import rho_dbscan_static
+from repro.validation import check_legality, check_sandwich
+
+from conftest import clustered_points, random_points
+
+
+class TestBruteForce:
+    def test_empty_dataset(self):
+        ref = dbscan_brute([], 1.0, 3)
+        assert ref.clusters == [] and ref.noise == set() and ref.core == set()
+
+    def test_single_point_noise(self):
+        ref = dbscan_brute([(0.0, 0.0)], 1.0, 2)
+        assert ref.noise == {0}
+        assert ref.clusters == []
+
+    def test_minpts_one_singleton_clusters(self):
+        ref = dbscan_brute([(0.0, 0.0), (10.0, 10.0)], 1.0, 1)
+        assert len(ref.clusters) == 2
+        assert ref.noise == set()
+
+    def test_line_chain_single_cluster(self):
+        pts = [(float(i), 0.0) for i in range(10)]
+        ref = dbscan_brute(pts, 1.0, 2)
+        assert len(ref.clusters) == 1
+        assert ref.core == set(range(10))
+
+    def test_broken_chain_two_clusters(self):
+        pts = [(float(i), 0.0) for i in range(5)] + [
+            (float(i) + 10.0, 0.0) for i in range(5)
+        ]
+        ref = dbscan_brute(pts, 1.0, 2)
+        assert len(ref.clusters) == 2
+
+    def test_border_multi_membership(self):
+        pts = [(0.1,), (0.4,), (0.7,), (1.0,), (3.0,), (3.3,), (3.6,), (3.9,), (2.0,)]
+        ref = dbscan_brute(pts, 1.0, 4)
+        assert 8 not in ref.core
+        assert len(ref.memberships(8)) == 2
+
+    def test_cluster_of_core_raises_for_noise(self):
+        ref = dbscan_brute([(0.0, 0.0)], 1.0, 2)
+        with pytest.raises(KeyError):
+            ref.cluster_of_core(0)
+
+    def test_eps_boundary_inclusive(self):
+        ref = dbscan_brute([(0.0,), (1.0,)], 1.0, 2)
+        assert len(ref.clusters) == 1
+
+
+class TestGridMatchesBrute:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 5])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_uniform(self, dim, seed):
+        pts = random_points(150, dim, extent=10.0, seed=seed)
+        assert dbscan_grid(pts, 1.5, 4).canonical() == dbscan_brute(
+            pts, 1.5, 4
+        ).canonical()
+
+    @pytest.mark.parametrize("seed", [2, 3])
+    def test_clustered(self, seed):
+        pts = clustered_points(200, 2, seed=seed)
+        a = dbscan_grid(pts, 2.0, 5)
+        b = dbscan_brute(pts, 2.0, 5)
+        assert a.canonical() == b.canonical()
+        assert a.noise == b.noise
+        assert a.core == b.core
+
+    def test_dense_single_cell(self):
+        pts = [(0.01 * i, 0.01 * i) for i in range(30)]
+        a = dbscan_grid(pts, 5.0, 10)
+        b = dbscan_brute(pts, 5.0, 10)
+        assert a.canonical() == b.canonical()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.tuples(st.floats(0, 20), st.floats(0, 20)), max_size=70),
+        st.integers(1, 6),
+        st.floats(0.5, 4.0),
+    )
+    def test_hypothesis(self, cloud, minpts, eps):
+        assert dbscan_grid(cloud, eps, minpts).canonical() == dbscan_brute(
+            cloud, eps, minpts
+        ).canonical()
+
+
+class TestStaticRho:
+    def test_rho_zero_equals_exact(self):
+        pts = clustered_points(100, 2, seed=4)
+        assert rho_dbscan_static(pts, 2.0, 5, 0.0).canonical() == dbscan_brute(
+            pts, 2.0, 5
+        ).canonical()
+
+    @pytest.mark.parametrize("rho", [0.001, 0.2, 0.8])
+    def test_satisfies_sandwich(self, rho):
+        pts = clustered_points(100, 2, seed=5)
+        approx = rho_dbscan_static(pts, 2.0, 5, rho)
+        coords = {i: p for i, p in enumerate(pts)}
+        assert check_sandwich(coords, approx.clusters, 2.0, 5, rho) == []
+
+    @pytest.mark.parametrize("rho", [0.001, 0.3])
+    def test_satisfies_legality(self, rho):
+        pts = clustered_points(90, 2, seed=6)
+        approx = rho_dbscan_static(pts, 2.0, 5, rho)
+        coords = {i: p for i, p in enumerate(pts)}
+        assert check_legality(
+            coords, approx.clusters, approx.noise, approx.core,
+            2.0, 5, rho, relaxed_core=False,
+        ) == []
+
+    def test_core_points_match_exact(self):
+        """rho-approximation does not relax the core definition."""
+        pts = clustered_points(100, 3, seed=7)
+        approx = rho_dbscan_static(pts, 2.0, 5, 0.5)
+        exact = dbscan_brute(pts, 2.0, 5)
+        assert approx.core == exact.core
+
+    def test_large_rho_merges_nearby_clusters(self):
+        pts = [(float(i) * 0.5, 0.0) for i in range(5)] + [
+            (float(i) * 0.5 + 3.4, 0.0) for i in range(5)
+        ]
+        exact = dbscan_brute(pts, 1.0, 2)
+        merged = rho_dbscan_static(pts, 1.0, 2, 0.5)
+        assert len(exact.clusters) == 2
+        assert len(merged.clusters) == 1

@@ -1,0 +1,99 @@
+"""Tests for the cluster-evolution tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ClusterTracker, cluster_stats
+from repro.core.framework import Clustering
+from repro.core.fullydynamic import FullyDynamicClusterer
+
+
+def clustering(*clusters, noise=()):
+    return Clustering(clusters=[set(c) for c in clusters], noise=set(noise))
+
+
+class TestDiffEvents:
+    def test_first_snapshot_appears(self):
+        t = ClusterTracker()
+        events = t.observe(clustering({1, 2}, {3, 4}))
+        assert sorted(e.kind for e in events) == ["appear", "appear"]
+
+    def test_no_change_no_events(self):
+        t = ClusterTracker()
+        t.observe(clustering({1, 2}, {3, 4}))
+        assert t.observe(clustering({1, 2}, {3, 4})) == []
+
+    def test_grow_and_shrink(self):
+        t = ClusterTracker()
+        t.observe(clustering({1, 2}, {10, 11, 12}))
+        events = t.observe(clustering({1, 2, 3}, {10, 11}))
+        kinds = sorted(e.kind for e in events)
+        assert kinds == ["grow", "shrink"]
+
+    def test_merge(self):
+        t = ClusterTracker()
+        t.observe(clustering({1, 2}, {3, 4}))
+        events = t.observe(clustering({1, 2, 3, 4, 5}))
+        assert [e.kind for e in events] == ["merge"]
+        assert len(events[0].before) == 2
+        assert len(events[0].after) == 1
+
+    def test_split(self):
+        t = ClusterTracker()
+        t.observe(clustering({1, 2, 3, 4}))
+        events = t.observe(clustering({1, 2}, {3, 4}))
+        assert [e.kind for e in events] == ["split"]
+
+    def test_vanish_and_appear(self):
+        t = ClusterTracker()
+        t.observe(clustering({1, 2}))
+        events = t.observe(clustering({8, 9}))
+        kinds = sorted(e.kind for e in events)
+        assert kinds == ["appear", "vanish"]
+
+    def test_replaced_membership_same_size(self):
+        t = ClusterTracker()
+        t.observe(clustering({1, 2, 3}))
+        events = t.observe(clustering({1, 2, 9}))
+        assert [e.kind for e in events] == ["grow"]  # same size, new members
+
+    def test_event_str(self):
+        t = ClusterTracker()
+        t.observe(clustering({1, 2}, {3, 4}))
+        (event,) = t.observe(clustering({1, 2, 3, 4}))
+        assert "merge" in str(event)
+
+
+class TestWithClusterer:
+    def test_bridge_merge_and_split_events(self):
+        algo = FullyDynamicClusterer(1.0, 2, rho=0.0, dim=1)
+        tracker = ClusterTracker()
+        left = [algo.insert((float(i),)) for i in range(3)]
+        right = [algo.insert((float(i) + 6.0,)) for i in range(3)]
+        events = tracker.observe(algo.clusters())
+        assert sorted(e.kind for e in events) == ["appear", "appear"]
+
+        bridge = [algo.insert((3.0,)), algo.insert((4.0,)), algo.insert((5.0,))]
+        events = tracker.observe(algo.clusters())
+        assert "merge" in {e.kind for e in events}
+
+        for pid in bridge:
+            algo.delete(pid)
+        events = tracker.observe(algo.clusters())
+        assert "split" in {e.kind for e in events}
+
+
+class TestStats:
+    def test_stats_of_empty(self):
+        stats = cluster_stats(clustering())
+        assert stats.cluster_count == 0
+        assert stats.largest == 0
+        assert stats.clustered_points == 0
+
+    def test_stats_sizes_sorted(self):
+        stats = cluster_stats(clustering({1}, {2, 3, 4}, {5, 6}, noise=(9,)))
+        assert stats.sizes == [3, 2, 1]
+        assert stats.largest == 3
+        assert stats.noise_count == 1
+        assert stats.clustered_points == 6

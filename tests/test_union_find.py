@@ -1,0 +1,111 @@
+"""Tests for the union-find CC structure."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.connectivity.union_find import UnionFind
+
+
+class TestBasics:
+    def test_singleton(self):
+        uf = UnionFind()
+        uf.add("a")
+        assert uf.find("a") == "a"
+        assert uf.component_count == 1
+        assert "a" in uf and len(uf) == 1
+
+    def test_lazy_registration_via_find(self):
+        uf = UnionFind()
+        assert uf.find(42) == 42
+        assert uf.component_count == 1
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add("x")
+        uf.add("x")
+        assert uf.component_count == 1
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        assert uf.union(1, 2) is True
+        assert uf.connected(1, 2)
+        assert uf.component_count == 1
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        assert uf.union(2, 1) is False
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert not uf.connected(1, 3)
+        uf.union(2, 3)
+        assert uf.connected(1, 4)
+        assert uf.component_count == 1
+
+    def test_tuple_items(self):
+        uf = UnionFind()
+        uf.union((0, 0), (0, 1))
+        assert uf.connected((0, 0), (0, 1))
+        assert not uf.connected((0, 0), (5, 5))
+
+    def test_component_count_tracks(self):
+        uf = UnionFind()
+        for i in range(10):
+            uf.add(i)
+        assert uf.component_count == 10
+        for i in range(9):
+            uf.union(i, i + 1)
+        assert uf.component_count == 1
+
+    def test_find_is_canonical(self):
+        uf = UnionFind()
+        for i in range(20):
+            uf.union(0, i)
+        roots = {uf.find(i) for i in range(20)}
+        assert len(roots) == 1
+
+
+class TestAgainstNaivePartition:
+    def test_random_unions_match_reference(self):
+        rng = random.Random(7)
+        uf = UnionFind()
+        groups = {i: {i} for i in range(50)}
+        label = {i: i for i in range(50)}
+        for _ in range(200):
+            a, b = rng.randrange(50), rng.randrange(50)
+            uf.union(a, b)
+            la, lb = label[a], label[b]
+            if la != lb:
+                for x in groups[lb]:
+                    label[x] = la
+                groups[la] |= groups.pop(lb)
+        for a in range(50):
+            for b in range(50):
+                assert uf.connected(a, b) == (label[a] == label[b])
+        assert uf.component_count == len(groups)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=60))
+def test_hypothesis_equivalence_classes(pairs):
+    uf = UnionFind()
+    for i in range(16):
+        uf.add(i)
+    reference = {i: {i} for i in range(16)}
+    for a, b in pairs:
+        uf.union(a, b)
+        sa = next(s for s in reference.values() if a in s)
+        sb = next(s for s in reference.values() if b in s)
+        if sa is not sb:
+            merged = sa | sb
+            for x in merged:
+                reference[x] = merged
+    for a in range(16):
+        for b in range(16):
+            assert uf.connected(a, b) == (b in reference[a])

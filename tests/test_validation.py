@@ -1,0 +1,146 @@
+"""Tests for the sandwich and legality validators themselves.
+
+Validators are load-bearing for the whole test strategy, so they get
+negative tests: they must *reject* corrupted clusterings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.static_dbscan import dbscan_brute
+from repro.validation import check_legality, check_sandwich
+
+from conftest import clustered_points
+
+EPS = 2.0
+MINPTS = 4
+RHO = 0.2
+
+
+@pytest.fixture
+def dataset():
+    pts = clustered_points(80, 2, seed=77)
+    coords = {i: p for i, p in enumerate(pts)}
+    ref = dbscan_brute(pts, EPS, MINPTS)
+    return coords, ref
+
+
+class TestSandwich:
+    def test_exact_clustering_passes(self, dataset):
+        coords, ref = dataset
+        assert check_sandwich(coords, ref.clusters, EPS, MINPTS, RHO) == []
+
+    def test_split_cluster_fails(self, dataset):
+        """Splitting an exact cluster violates containment of C1."""
+        coords, ref = dataset
+        big = max(ref.clusters, key=len)
+        if len(big) < 2:
+            pytest.skip("need a splittable cluster")
+        members = sorted(big)
+        broken = [c for c in ref.clusters if c is not big]
+        broken += [set(members[: len(members) // 2]), set(members[len(members) // 2 :])]
+        assert check_sandwich(coords, broken, EPS, MINPTS, RHO) != []
+
+    def test_merging_far_clusters_fails(self, dataset):
+        coords, ref = dataset
+        if len(ref.clusters) < 2:
+            pytest.skip("need two clusters")
+        # Find two clusters that stay separate even at the relaxed radius.
+        upper = dbscan_brute(
+            [coords[i] for i in sorted(coords)], EPS * (1 + RHO), MINPTS
+        )
+        merged = [set().union(*ref.clusters)] if len(upper.clusters) > 1 else None
+        if merged is None:
+            pytest.skip("relaxed radius merges everything")
+        assert check_sandwich(coords, merged, EPS, MINPTS, RHO) != []
+
+    def test_dropping_a_cluster_fails(self, dataset):
+        coords, ref = dataset
+        if not ref.clusters:
+            pytest.skip("no clusters")
+        assert check_sandwich(coords, ref.clusters[1:], EPS, MINPTS, RHO) != []
+
+
+class TestLegality:
+    def test_exact_clustering_passes(self, dataset):
+        coords, ref = dataset
+        assert (
+            check_legality(
+                coords, ref.clusters, ref.noise, ref.core,
+                EPS, MINPTS, RHO, relaxed_core=False,
+            )
+            == []
+        )
+
+    def test_exact_clustering_passes_relaxed(self, dataset):
+        coords, ref = dataset
+        assert (
+            check_legality(
+                coords, ref.clusters, ref.noise, ref.core,
+                EPS, MINPTS, RHO, relaxed_core=True,
+            )
+            == []
+        )
+
+    def test_wrong_core_flag_fails(self, dataset):
+        coords, ref = dataset
+        noise_point = next(iter(ref.noise), None)
+        if noise_point is None:
+            pytest.skip("no noise point")
+        fake_core = ref.core | {noise_point}
+        violations = check_legality(
+            coords, ref.clusters, ref.noise - {noise_point}, fake_core,
+            EPS, MINPTS, RHO, relaxed_core=False,
+        )
+        assert violations != []
+
+    def test_missing_core_flag_fails(self, dataset):
+        coords, ref = dataset
+        some_core = next(iter(ref.core))
+        violations = check_legality(
+            coords, ref.clusters, ref.noise, ref.core - {some_core},
+            EPS, MINPTS, RHO, relaxed_core=False,
+        )
+        assert violations != []
+
+    def test_core_in_two_clusters_fails(self, dataset):
+        coords, ref = dataset
+        if len(ref.clusters) < 2:
+            pytest.skip("need two clusters")
+        corrupted = [set(c) for c in ref.clusters]
+        wanderer = next(iter(corrupted[0] & ref.core))
+        corrupted[1].add(wanderer)
+        violations = check_legality(
+            coords, corrupted, ref.noise, ref.core,
+            EPS, MINPTS, RHO, relaxed_core=False,
+        )
+        assert violations != []
+
+    def test_noise_with_core_neighbor_fails(self, dataset):
+        coords, ref = dataset
+        # Steal a border point from a cluster and call it noise.
+        border = None
+        for c in ref.clusters:
+            for k in c:
+                if k not in ref.core:
+                    border = k
+                    break
+            if border is not None:
+                break
+        if border is None:
+            pytest.skip("no border point")
+        stripped = [c - {border} for c in ref.clusters]
+        violations = check_legality(
+            coords, stripped, ref.noise | {border}, ref.core,
+            EPS, MINPTS, RHO, relaxed_core=False,
+        )
+        assert violations != []
+
+    def test_empty_cluster_fails(self, dataset):
+        coords, ref = dataset
+        violations = check_legality(
+            coords, list(ref.clusters) + [set()], ref.noise, ref.core,
+            EPS, MINPTS, RHO, relaxed_core=False,
+        )
+        assert any("no core point" in v for v in violations)

@@ -1,0 +1,203 @@
+"""Tests for the seed spreader, workload generator, runner, and metrics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.static_dbscan import dbscan_grid
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.workload.metrics import avgcost_series, checkpoints, maxupdcost_series
+from repro.workload.runner import run_workload
+from repro.workload.seed_spreader import seed_spreader
+from repro.workload.workload import generate_workload
+
+
+class TestSeedSpreader:
+    def test_count_and_dimension(self):
+        pts = seed_spreader(500, 3, seed=1)
+        assert len(pts) == 500
+        assert all(len(p) == 3 for p in pts)
+
+    def test_points_inside_space(self):
+        pts = seed_spreader(1000, 2, seed=2)
+        for p in pts:
+            assert all(0.0 <= x <= 1e5 for x in p)
+
+    def test_deterministic_with_seed(self):
+        assert seed_spreader(200, 2, seed=3) == seed_spreader(200, 2, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert seed_spreader(200, 2, seed=3) != seed_spreader(200, 2, seed=4)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            seed_spreader(0, 2)
+        with pytest.raises(ValueError):
+            seed_spreader(10, 0)
+
+    def test_produces_multiple_dense_clusters(self):
+        """The generator should yield several DBSCAN clusters at the
+        paper's parameterization (eps = 100d, MinPts = 10)."""
+        pts = seed_spreader(3000, 2, seed=5)
+        ref = dbscan_grid(pts, 200.0, 10)
+        assert len(ref.clusters) >= 3
+        # Noise fraction is tiny by construction.
+        assert len(ref.noise) <= len(pts) * 0.05
+
+    def test_cluster_points_are_dense(self):
+        """Non-noise points huddle within the spreader radius scale."""
+        pts = seed_spreader(500, 2, seed=6, noise_fraction=0.0)
+        # Every point has a neighbor within 2 * radius = 50.
+        from repro.geometry.points import sq_dist
+
+        lonely = 0
+        for i, p in enumerate(pts):
+            if not any(
+                i != j and sq_dist(p, q) <= 2500.0 for j, q in enumerate(pts)
+            ):
+                lonely += 1
+        assert lonely <= 5
+
+
+class TestWorkloadGeneration:
+    def test_semi_dynamic_all_inserts(self):
+        w = generate_workload(300, 2, insert_fraction=1.0, seed=1)
+        assert w.insert_count == 300
+        assert w.delete_count == 0
+        assert w.update_count == 300
+
+    def test_insert_fraction_respected(self):
+        w = generate_workload(600, 2, insert_fraction=5 / 6, seed=2)
+        assert w.insert_count == 500
+        assert w.delete_count == 100
+
+    def test_deletions_always_after_insertions(self):
+        w = generate_workload(400, 2, insert_fraction=2 / 3, seed=3)
+        inserted = set()
+        for kind, arg in w.ops:
+            if kind == "insert":
+                inserted.add(arg)
+            elif kind == "delete":
+                assert arg in inserted
+                inserted.discard(arg)
+
+    def test_no_duplicate_inserts_or_deletes(self):
+        w = generate_workload(500, 2, insert_fraction=0.8, seed=4)
+        ins = [a for k, a in w.ops if k == "insert"]
+        dels = [a for k, a in w.ops if k == "delete"]
+        assert len(ins) == len(set(ins))
+        assert len(dels) == len(set(dels))
+
+    def test_queries_reference_alive_points(self):
+        w = generate_workload(400, 2, insert_fraction=0.75, query_frequency=20, seed=5)
+        assert w.query_count > 0
+        alive = set()
+        for kind, arg in w.ops:
+            if kind == "insert":
+                alive.add(arg)
+            elif kind == "delete":
+                alive.discard(arg)
+            else:
+                assert 2 <= len(arg) <= 100
+                assert set(arg) <= alive
+                assert len(set(arg)) == len(arg)
+
+    def test_query_frequency_spacing(self):
+        w = generate_workload(300, 2, insert_fraction=1.0, query_frequency=50, seed=6)
+        assert w.query_count == 300 // 50
+
+    def test_custom_points(self):
+        pts = [(float(i), 0.0) for i in range(100)]
+        w = generate_workload(100, 2, points=pts, seed=7)
+        assert sorted(w.points) == sorted(pts)
+
+    def test_custom_points_too_few_raises(self):
+        with pytest.raises(ValueError):
+            generate_workload(100, 2, points=[(0.0, 0.0)], seed=8)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            generate_workload(0, 2)
+        with pytest.raises(ValueError):
+            generate_workload(10, 2, insert_fraction=0.0)
+
+    def test_deterministic(self):
+        a = generate_workload(200, 2, insert_fraction=0.8, query_frequency=25, seed=9)
+        b = generate_workload(200, 2, insert_fraction=0.8, query_frequency=25, seed=9)
+        assert a.ops == b.ops and a.points == b.points
+
+
+class TestRunner:
+    def test_run_records_all_ops(self):
+        w = generate_workload(150, 2, insert_fraction=0.8, query_frequency=25, seed=10)
+        algo = FullyDynamicClusterer(200.0, 5, rho=0.001, dim=2)
+        result = run_workload(algo, w)
+        assert len(result.op_costs) == len(w.ops)
+        assert result.total_cost > 0
+        assert result.average_cost > 0
+        assert result.max_update_cost >= max(result.update_costs())
+
+    def test_max_ops_prefix(self):
+        w = generate_workload(150, 2, insert_fraction=1.0, seed=11)
+        algo = FullyDynamicClusterer(200.0, 5, rho=0.001, dim=2)
+        result = run_workload(algo, w, max_ops=40)
+        assert len(result.op_costs) == 40
+
+    def test_final_state_consistent(self):
+        w = generate_workload(200, 2, insert_fraction=0.75, seed=12)
+        algo = FullyDynamicClusterer(200.0, 5, rho=0.0, dim=2)
+        run_workload(algo, w)
+        assert len(algo) == w.insert_count - w.delete_count
+
+    def test_query_costs_separated(self):
+        w = generate_workload(100, 2, insert_fraction=1.0, query_frequency=10, seed=13)
+        algo = FullyDynamicClusterer(200.0, 5, rho=0.001, dim=2)
+        result = run_workload(algo, w)
+        assert len(result.query_costs()) == w.query_count
+        assert len(result.update_costs()) == w.update_count
+
+
+class TestMetrics:
+    def test_checkpoints_basic(self):
+        assert checkpoints(100, 4) == [25, 50, 75, 100]
+        assert checkpoints(0) == []
+        assert checkpoints(3, 10) == [1, 2, 3]
+
+    def test_avgcost_series(self):
+        costs = [2.0, 4.0, 6.0, 8.0]
+        series = avgcost_series(costs, [2, 4])
+        assert series == [(2, 3.0), (4, 5.0)]
+
+    def test_avgcost_empty(self):
+        assert avgcost_series([], [1]) == []
+
+    def test_maxupdcost_excludes_queries(self):
+        kinds = ["insert", "query", "insert", "delete"]
+        costs = [1.0, 100.0, 3.0, 2.0]
+        series = maxupdcost_series(kinds, costs, [2, 4])
+        assert series == [(2, 1.0), (4, 3.0)]
+
+    def test_maxupdcost_monotone(self):
+        rng = random.Random(0)
+        kinds = ["insert"] * 50
+        costs = [rng.random() for _ in range(50)]
+        series = maxupdcost_series(kinds, costs, list(range(1, 51)))
+        values = [v for _, v in series]
+        assert values == sorted(values)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(10, 120), st.sampled_from([2 / 3, 4 / 5, 5 / 6, 1.0]), st.integers(0, 5))
+def test_hypothesis_workload_prefix_invariant(n, frac, seed):
+    w = generate_workload(n, 2, insert_fraction=frac, seed=seed)
+    balance = 0
+    for kind, _ in w.ops:
+        if kind == "insert":
+            balance += 1
+        elif kind == "delete":
+            balance -= 1
+        assert balance >= 0
+    assert balance == w.insert_count - w.delete_count

@@ -27,13 +27,19 @@ from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.connectivity.union_find import UnionFind
+from repro.core.bulk import SequentialBulkMixin
 from repro.core.framework import CGroupByResult, Clustering
 from repro.geometry.points import Point
 from repro.geometry.rtree import RTree
 
 
-class IncDBSCAN:
-    """Incremental exact DBSCAN with the C-group-by query interface."""
+class IncDBSCAN(SequentialBulkMixin):
+    """Incremental exact DBSCAN with the C-group-by query interface.
+
+    ``insert_many`` / ``delete_many`` fall back to the sequential loop
+    (IncDBSCAN has no batch formulation), keeping the baseline
+    runner-compatible with batched workloads.
+    """
 
     def __init__(self, eps: float, minpts: int, dim: int = 2) -> None:
         if eps <= 0:

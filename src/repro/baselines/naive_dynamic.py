@@ -15,12 +15,17 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.baselines.static_dbscan import StaticClustering, dbscan_grid
+from repro.core.bulk import SequentialBulkMixin
 from repro.core.framework import CGroupByResult, Clustering
 from repro.geometry.points import Point
 
 
-class RecomputeClusterer:
-    """Exact DBSCAN with O(1) updates and recompute-on-query semantics."""
+class RecomputeClusterer(SequentialBulkMixin):
+    """Exact DBSCAN with O(1) updates and recompute-on-query semantics.
+
+    The inherited sequential ``insert_many`` / ``delete_many`` are
+    already optimal here: each update is O(1) cache invalidation.
+    """
 
     def __init__(self, eps: float, minpts: int, dim: int = 2) -> None:
         if eps <= 0:

@@ -10,6 +10,7 @@ Factory helpers mirror the paper's algorithm names: ``semi_exact_2d``,
 ``semi_approx``, ``full_exact_2d``, ``double_approx``.
 """
 
+from repro.core.bulk import SequentialBulkMixin
 from repro.core.framework import CGroupByResult, Clustering, GridClusterer
 from repro.core.grid import Cell, Grid
 from repro.core.abcp import ABCPInstance, RescanBCP, SuffixABCP, SIDE_A, SIDE_B
@@ -30,6 +31,7 @@ __all__ = [
     "GridClusterer",
     "RescanBCP",
     "SemiDynamicClusterer",
+    "SequentialBulkMixin",
     "SIDE_A",
     "SuffixABCP",
     "SIDE_B",

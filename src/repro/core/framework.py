@@ -14,6 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.core.bulk import SequentialBulkMixin, as_point_array
 from repro.core.grid import Cell, Grid
 from repro.geometry.points import Point, sq_dist
 
@@ -54,14 +57,16 @@ class Clustering:
         return len(self.clusters)
 
 
-class GridClusterer:
+class GridClusterer(SequentialBulkMixin):
     """Common state and the shared C-group-by query algorithm.
 
     Subclasses must maintain, per non-empty cell, an object exposing
     ``points`` (dict id -> point), ``core`` (set of core ids),
     ``emptiness`` (an EmptinessStructure over the core ids, or None) and
     ``neighbors`` (set of close non-empty cells), and must implement
-    ``_cc_id`` plus the update entry points.
+    ``_cc_id`` plus the update entry points.  The inherited sequential
+    ``insert_many`` / ``delete_many`` are overridden with vectorized
+    paths by both dynamic clusterers.
     """
 
     def __init__(
@@ -208,6 +213,48 @@ class GridClusterer:
         data = self._cells.pop(cell)
         for other in data.neighbors:  # type: ignore[attr-defined]
             self._cells[other].neighbors.discard(cell)  # type: ignore[attr-defined]
+
+    def _register_batch(
+        self, points: Iterable[Sequence[float]]
+    ) -> Tuple[int, np.ndarray, List[Point]]:
+        """Validate and store a whole batch of points at once.
+
+        Returns ``(base, arr, tuples)``: the batch occupies the contiguous
+        id range ``[base, base + len(arr))`` in batch order, exactly the
+        ids sequential ``insert`` calls would have assigned.
+        """
+        arr = as_point_array(list(points), self.dim)
+        base = self._next_id
+        tuples: List[Point] = [tuple(row) for row in arr.tolist()]
+        for pt in tuples:
+            self._points[self._next_id] = pt
+            self._next_id += 1
+        return base, arr, tuples
+
+    def _cell_coords(
+        self, cell: Cell, cache: Dict[Cell, np.ndarray]
+    ) -> np.ndarray:
+        """All point coordinates of one cell as an array (memoized)."""
+        arr = cache.get(cell)
+        if arr is None:
+            pts = self._cells[cell].points  # type: ignore[attr-defined]
+            arr = (
+                np.array(list(pts.values()), dtype=float)
+                if pts
+                else np.empty((0, self.dim))
+            )
+            cache[cell] = arr
+        return arr
+
+    def _neighborhood_coords(
+        self, cell: Cell, cache: Dict[Cell, np.ndarray]
+    ) -> np.ndarray:
+        """Coordinates of every point in ``cell`` and its close cells."""
+        data = self._cells[cell]
+        parts = [self._cell_coords(cell, cache)]
+        for other in sorted(data.neighbors):  # type: ignore[attr-defined]
+            parts.append(self._cell_coords(other, cache))
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]
 
     def _exact_ball_count(self, point: Point, data: object) -> int:
         """Exact |B(point, eps)| over the cell of ``data`` and its neighbors."""

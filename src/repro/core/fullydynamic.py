@@ -18,11 +18,14 @@ the paper's *2d-Full-Exact*, and ``double_approx`` the paper's
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from repro.connectivity.hdt import HDTConnectivity
 from repro.connectivity.naive import NaiveConnectivity
 from repro.core.abcp import ABCPInstance, RescanBCP, SuffixABCP, SIDE_A, SIDE_B
+from repro.core.bulk import ball_counts, bucket_by_cell
 from repro.core.framework import GridClusterer
 from repro.core.grid import Cell
 from repro.geometry.emptiness import EmptinessStructure
@@ -144,6 +147,120 @@ class FullyDynamicClusterer(GridClusterer):
                         self._promote(q, other, odata)
         return pid
 
+    def insert_many(self, points: Iterable[Sequence[float]]) -> List[int]:
+        """Vectorized bulk insertion, equivalent to sequential ``insert``.
+
+        All batch points enter the cell registries and range counters
+        first; core status is then decided in one pass over the affected
+        cell-neighborhoods from exact numpy ball counts (a legal
+        instantiation of the approximate range-count contract, and with
+        ``rho = 0`` identical to it).  Promotions replay through
+        ``_promote`` in deterministic order, which keeps the aBCP
+        instances and the CC structure exactly as maintained by the
+        sequential path.  Insertions only create core points, so one
+        final pass reaches the sequential fixpoint.
+        """
+        base, arr, tuples = self._register_batch(points)
+        if not tuples:
+            return []
+        minpts = self.minpts
+
+        buckets = bucket_by_cell(arr, self._grid.side)
+        for cell, idxs in buckets:
+            data: Optional[_FullCell] = self._cells.get(cell)  # type: ignore[assignment]
+            if data is None:
+                data = _FullCell(self.dim, self.eps, self.rho)
+                data.neighbors = self._discover_neighbors(cell)
+                self._cells[cell] = data
+            items = [(base + i, tuples[i]) for i in idxs.tolist()]
+            for pid, pt in items:
+                data.points[pid] = pt
+                data.noncore.add(pid)
+            data.counter.insert_many(items)
+
+        # The batch can only create core points in the affected cells and
+        # their close cells; recheck every non-core point there.
+        recheck = {cell for cell, _ in buckets}
+        for cell, _ in buckets:
+            recheck |= self._cells[cell].neighbors  # type: ignore[attr-defined]
+        coords_cache: Dict[Cell, np.ndarray] = {}
+        for cell in sorted(recheck):
+            data = self._cells[cell]  # type: ignore[assignment]
+            if not data.noncore:
+                continue
+            if len(data.points) >= minpts:
+                self._promote_many(sorted(data.noncore), cell, data)
+                continue
+            noncore = sorted(data.noncore)
+            q_arr = np.array([data.points[pid] for pid in noncore])
+            counts = ball_counts(
+                q_arr, self._neighborhood_coords(cell, coords_cache), self._sq_eps
+            )
+            chosen = [
+                pid
+                for pid, count in zip(noncore, counts.tolist())
+                if count >= minpts
+            ]
+            if chosen:
+                self._promote_many(chosen, cell, data)
+        return list(range(base, base + len(tuples)))
+
+    def delete_many(self, pids: Iterable[int]) -> None:
+        """Vectorized bulk deletion, equivalent to sequential ``delete``.
+
+        All points leave the registries and counters first (cores demote
+        through ``_demote``, maintaining aBCP and connectivity); survivor
+        core status is then rechecked in one pass over the affected
+        cell-neighborhoods with exact numpy ball counts.  Deletions only
+        destroy core points, so one final pass reaches the sequential
+        fixpoint.
+        """
+        pid_list = list(pids)
+        if not pid_list:
+            return
+        if len(set(pid_list)) != len(pid_list):
+            raise ValueError("duplicate point ids in delete_many batch")
+        for pid in pid_list:
+            if pid not in self._points:
+                raise KeyError(f"point id {pid} is not live")
+        affected: Set[Cell] = set()
+        for pid in pid_list:
+            cell = self._grid.cell_of(self._points[pid])
+            data: _FullCell = self._cells[cell]  # type: ignore[assignment]
+            del data.points[pid]
+            data.counter.delete(pid)
+            if pid in data.core:
+                self._demote(pid, cell, data)
+            else:
+                data.noncore.discard(pid)
+            affected.add(cell)
+
+        # The batch can only destroy core points in the affected cells
+        # and their close cells; recheck every core point there.
+        recheck = set(affected)
+        for cell in affected:
+            recheck |= self._cells[cell].neighbors  # type: ignore[attr-defined]
+        coords_cache: Dict[Cell, np.ndarray] = {}
+        minpts = self.minpts
+        for cell in sorted(recheck):
+            data = self._cells[cell]  # type: ignore[assignment]
+            if len(data.points) >= minpts or not data.core:
+                continue
+            core = sorted(data.core)
+            q_arr = np.array([data.points[pid] for pid in core])
+            counts = ball_counts(
+                q_arr, self._neighborhood_coords(cell, coords_cache), self._sq_eps
+            )
+            for pid, count in zip(core, counts.tolist()):
+                if count < minpts:
+                    self._demote(pid, cell, data)
+
+        for cell in sorted(affected):
+            if not self._cells[cell].points:  # type: ignore[attr-defined]
+                self._unlink_cell(cell)
+        for pid in pid_list:
+            del self._points[pid]
+
     def delete(self, pid: int) -> None:
         if pid not in self._points:
             raise KeyError(f"point id {pid} is not live")
@@ -205,6 +322,44 @@ class FullyDynamicClusterer(GridClusterer):
             for other, (instance, side) in data.abcp.items():
                 had = instance.has_witness
                 instance.insert(pid, side)
+                if instance.has_witness and not had:
+                    self._conn.insert_edge(cell, other)
+
+    def _promote_many(self, pids: Sequence[int], cell: Cell, data: _FullCell) -> None:
+        """Promote a whole batch of one cell's points at once.
+
+        Equivalent to calling :meth:`_promote` on each pid in order, but
+        the emptiness structure takes one buffered bulk insert instead of
+        per-point tree descents, and when the cell just became a core
+        cell its aBCP instances are opened once over the full batch (the
+        instance constructor's initial scan subsumes the per-point
+        ``insert`` notifications).
+        """
+        if data.emptiness is None:
+            data.emptiness = EmptinessStructure(self.dim, self.eps, self.rho)
+        was_core = bool(data.core)
+        for pid in pids:
+            data.noncore.discard(pid)
+            data.core.add(pid)
+        data.emptiness.insert_many([(pid, data.points[pid]) for pid in pids])
+        data.core_log.extend(pids)
+        if not was_core:
+            self._conn.add_vertex(cell)
+            for other in sorted(data.neighbors):
+                odata: _FullCell = self._cells[other]  # type: ignore[assignment]
+                if not odata.core:
+                    continue
+                assert odata.emptiness is not None
+                instance = self._make_bcp(data, odata)
+                data.abcp[other] = (instance, SIDE_A)
+                odata.abcp[cell] = (instance, SIDE_B)
+                if instance.has_witness:
+                    self._conn.insert_edge(cell, other)
+        else:
+            for other, (instance, side) in data.abcp.items():
+                had = instance.has_witness
+                for pid in pids:
+                    instance.insert(pid, side)
                 if instance.has_witness and not had:
                     self._conn.insert_edge(cell, other)
 

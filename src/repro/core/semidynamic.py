@@ -18,9 +18,12 @@ Exact DBSCAN is the ``rho = 0`` instantiation — in particular
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Sequence, Set
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
 
 from repro.connectivity.union_find import UnionFind
+from repro.core.bulk import any_within, ball_counts, box_sq_dists, bucket_by_cell
 from repro.core.framework import GridClusterer
 from repro.core.grid import Cell
 from repro.geometry.emptiness import EmptinessStructure
@@ -86,6 +89,146 @@ class SemiDynamicClusterer(GridClusterer):
         # The new point raises the vicinity count of close non-core points.
         self._bump_vicinity(pid, pt, cell, data)
         return pid
+
+    def insert_many(self, points: Iterable[Sequence[float]]) -> List[int]:
+        """Vectorized bulk insertion, equivalent to sequential ``insert``.
+
+        The batch is bucketed into cells with one vectorized floor; ball
+        counts and vicinity bumps come from numpy distance matrices per
+        cell-neighborhood; promotions and GUM edges replay in
+        deterministic order (cells lexicographic, ids ascending).  Core
+        status is monotone under insertion, so deciding it from the final
+        counts reaches the same state as point-at-a-time processing: with
+        ``rho = 0`` the clustering is *identical* to the sequential path,
+        with ``rho > 0`` both are legal under the sandwich guarantee.
+        """
+        base, arr, tuples = self._register_batch(points)
+        if not tuples:
+            return []
+        minpts = self.minpts
+        sq_eps = self._sq_eps
+        vincnt = self._vincnt
+
+        # Bucket into cells; create missing cells in lexicographic order
+        # (discovery back-links keep every neighbor cache complete).
+        buckets = bucket_by_cell(arr, self._grid.side)
+        new_in_cell: Dict[Cell, np.ndarray] = {}
+        for cell, idxs in buckets:
+            data: Optional[_SemiCell] = self._cells.get(cell)  # type: ignore[assignment]
+            if data is None:
+                data = _SemiCell()
+                data.neighbors = self._discover_neighbors(cell)
+                self._cells[cell] = data
+            for i in idxs.tolist():
+                pid = base + i
+                data.points[pid] = tuples[i]
+                data.noncore.add(pid)
+            new_in_cell[cell] = idxs
+
+        coords_cache: Dict[Cell, np.ndarray] = {}
+        promote_by_cell: Dict[Cell, List[int]] = {}
+
+        # Core status of the new points: dense cells short-circuit (every
+        # member is core); sparse cells get exact ball counts from one
+        # distance matrix against the full cell-neighborhood.
+        for cell, idxs in buckets:
+            data = self._cells[cell]  # type: ignore[assignment]
+            if len(data.points) >= minpts:
+                promote_by_cell[cell] = sorted(data.noncore)
+                continue
+            counts = ball_counts(
+                arr[idxs], self._neighborhood_coords(cell, coords_cache), sq_eps
+            )
+            chosen: List[int] = []
+            for i, count in zip(idxs.tolist(), counts.tolist()):
+                if count >= minpts:
+                    chosen.append(base + i)
+                else:
+                    vincnt[base + i] = count
+            if chosen:
+                promote_by_cell[cell] = chosen
+
+        # Vicinity bumps: pre-batch non-core points anywhere near the
+        # batch gain the number of new points within eps, promoting those
+        # that reach MinPts.  (Dense cells were fully promoted above.)
+        bump_cells = set(new_in_cell)
+        for cell in new_in_cell:
+            bump_cells |= self._cells[cell].neighbors  # type: ignore[attr-defined]
+        for cell in sorted(bump_cells):
+            data = self._cells[cell]  # type: ignore[assignment]
+            if len(data.points) >= minpts:
+                continue
+            old_noncore = sorted(pid for pid in data.noncore if pid < base)
+            if not old_noncore:
+                continue
+            near_idxs = [
+                new_in_cell[other]
+                for other in (cell, *sorted(data.neighbors))
+                if other in new_in_cell
+            ]
+            if not near_idxs:
+                continue
+            q_arr = np.array([data.points[pid] for pid in old_noncore])
+            bumps = ball_counts(q_arr, arr[np.concatenate(near_idxs)], sq_eps)
+            for pid, bump in zip(old_noncore, bumps.tolist()):
+                if bump == 0:
+                    continue
+                vincnt[pid] += bump
+                if vincnt[pid] >= minpts:
+                    promote_by_cell.setdefault(cell, []).append(pid)
+
+        # Replay promotions per cell: bulk-load the emptiness structures,
+        # then add GUM edges with one vectorized witness check per close
+        # core-cell pair (the exact eps test — a legal instantiation of
+        # the approximate emptiness contract).
+        for cell in sorted(promote_by_cell):
+            data = self._cells[cell]  # type: ignore[assignment]
+            pids = promote_by_cell[cell] = sorted(promote_by_cell[cell])
+            if data.emptiness is None:
+                data.emptiness = EmptinessStructure(self.dim, self.eps, self.rho)
+            had_core = bool(data.core)
+            for pid in pids:
+                data.noncore.discard(pid)
+                data.core.add(pid)
+                vincnt.pop(pid, None)
+            data.emptiness.insert_many([(pid, data.points[pid]) for pid in pids])
+            if not had_core:
+                self._uf.add(cell)
+        core_cache: Dict[Cell, np.ndarray] = {}
+        for cell in sorted(promote_by_cell):
+            data = self._cells[cell]  # type: ignore[assignment]
+            new_core = np.array(
+                [data.points[pid] for pid in promote_by_cell[cell]]
+            )
+            cell_lo, cell_hi = (np.array(b) for b in self._grid.cell_box(cell))
+            for other in sorted(data.neighbors):
+                odata: _SemiCell = self._cells[other]  # type: ignore[assignment]
+                if not odata.core:
+                    continue
+                if self._uf.connected(cell, other):
+                    continue
+                # Witness pairs must sit within eps of the opposite
+                # cell's box; pruning by that bound leaves the outcome
+                # unchanged but skips most cross-cluster near-misses.
+                other_lo, other_hi = (
+                    np.array(b) for b in self._grid.cell_box(other)
+                )
+                near_new = new_core[
+                    box_sq_dists(new_core, other_lo, other_hi) <= sq_eps
+                ]
+                if not len(near_new):
+                    continue
+                other_core = core_cache.get(other)
+                if other_core is None:
+                    other_core = core_cache[other] = np.array(
+                        [odata.points[pid] for pid in sorted(odata.core)]
+                    )
+                near_other = other_core[
+                    box_sq_dists(other_core, cell_lo, cell_hi) <= sq_eps
+                ]
+                if len(near_other) and any_within(near_new, near_other, sq_eps):
+                    self._uf.union(cell, other)
+        return list(range(base, base + len(tuples)))
 
     def delete(self, pid: int) -> None:
         raise NotImplementedError(

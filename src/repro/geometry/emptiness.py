@@ -10,17 +10,21 @@ One instance guards the *core points* of a single grid cell.  Its
 
 With ``rho = 0`` the structure is exact, which is how the framework captures
 exact DBSCAN.
+
+Bulk insertions are buffered and folded into the kd-tree on the first
+operation that needs the index (:class:`repro.geometry.kdtree.
+DeferredKDTree`), so pure-ingest batches stay index-free; the sequential
+``insert`` path is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.geometry.kdtree import DynamicKDTree
-from repro.geometry.points import Point
+from repro.geometry.kdtree import DeferredKDTree
 
 
-class EmptinessStructure:
+class EmptinessStructure(DeferredKDTree):
     """Dynamic approximate emptiness queries over one cell's core points."""
 
     def __init__(self, dim: int, eps: float, rho: float) -> None:
@@ -28,28 +32,14 @@ class EmptinessStructure:
             raise ValueError(f"eps must be positive, got {eps}")
         if rho < 0:
             raise ValueError(f"rho must be non-negative, got {rho}")
+        super().__init__(dim)
         self.eps = eps
         self.rho = rho
         self._sq_eps = eps * eps
         relaxed = eps * (1.0 + rho)
         self._sq_relaxed = relaxed * relaxed
-        self._tree = DynamicKDTree(dim)
-
-    def __len__(self) -> int:
-        return len(self._tree)
-
-    def __contains__(self, pid: int) -> bool:
-        return pid in self._tree
-
-    def ids(self) -> Iterator[int]:
-        return self._tree.ids()
-
-    def insert(self, pid: int, point: Point) -> None:
-        self._tree.insert(pid, point)
-
-    def delete(self, pid: int) -> None:
-        self._tree.delete(pid)
 
     def empty(self, q: Sequence[float]) -> Optional[int]:
         """Emptiness query: proof point id, or ``None`` (see module doc)."""
+        self._flush()
         return self._tree.find_within(q, self._sq_eps, self._sq_relaxed)

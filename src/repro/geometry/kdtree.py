@@ -31,9 +31,15 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.geometry.points import Point
 
 _LEAF_CAP = 8
+
+#: Below this subtree size the bulk loader delegates to the plain
+#: list-based builder (numpy per-node overhead dominates small arrays).
+_BULK_CUTOFF = 512
 
 
 class _Node:
@@ -136,6 +142,33 @@ class DynamicKDTree:
         if len(node.bucket) > _LEAF_CAP:
             self._split_leaf(node)
 
+    def insert_many(self, items: Sequence[Tuple[int, Point]]) -> None:
+        """Add a batch of ``(id, point)`` pairs (ids must be fresh).
+
+        When the batch is at least as large as the current tree, the new
+        points are merged in via one balanced rebuild — O(n log n) total
+        instead of n incremental descents — which is what makes bulk
+        promotion in the clusterers' ``insert_many`` cheap.  Smaller
+        batches fall back to incremental insertion.
+        """
+        items = list(items)
+        if len({pid for pid, _ in items}) != len(items):
+            raise KeyError("duplicate point ids in batch")
+        for pid, _ in items:
+            if pid in self._points:
+                raise KeyError(f"point id {pid} already present")
+        if len(items) >= max(1, len(self._points)):
+            for pid, point in items:
+                self._points[pid] = point
+            self._deletes_since_build = 0
+            self._leaf_of = {}
+            ids = np.fromiter(self._points.keys(), dtype=np.int64)
+            coords = np.array(list(self._points.values()), dtype=float)
+            self._root = self._build_bulk(ids, coords)
+        else:
+            for pid, point in items:
+                self.insert(pid, point)
+
     def delete(self, pid: int) -> None:
         """Remove a point by id (must be present)."""
         leaf = self._leaf_of.pop(pid)
@@ -194,6 +227,54 @@ class DynamicKDTree:
             node.val = items[mid][1][dim]
         node.left = self._build(items[:mid])
         node.right = self._build(items[mid:])
+        node.left.parent = node
+        node.right.parent = node
+        return node
+
+    def _build_bulk(self, ids: np.ndarray, coords: np.ndarray) -> _Node:
+        """Balanced build over numpy arrays — the bulk-load fast path.
+
+        Same splitting policy as :meth:`_build` (median on the widest
+        dimension, boundary moved past runs of equal coordinates) but
+        with vectorized column sorts instead of per-item Python
+        comparisons.  Only the tree *shape* depends on the code path; all
+        query contracts are structure-independent.
+        """
+        n = len(ids)
+        if n <= _BULK_CUTOFF:
+            # Below this size the per-node numpy overhead (argsort and
+            # fancy indexing on tiny arrays) loses to the plain builder.
+            return self._build(
+                [
+                    (int(pid), tuple(pt))
+                    for pid, pt in zip(ids.tolist(), coords.tolist())
+                ]
+            )
+        node = _Node(self.dim)
+        node.size = n
+        node.lo = coords.min(axis=0).tolist()
+        node.hi = coords.max(axis=0).tolist()
+        dim = max(range(self.dim), key=lambda i: node.hi[i] - node.lo[i])
+        order = np.argsort(coords[:, dim], kind="stable")
+        sorted_col = coords[order, dim]
+        mid = n // 2
+        val = float(sorted_col[mid])
+        if float(sorted_col[0]) == val:
+            mid = int(np.searchsorted(sorted_col, val, side="right"))
+            if mid == n:  # every coordinate equal: keep as leaf
+                node.bucket = {
+                    int(pid): tuple(pt)
+                    for pid, pt in zip(ids.tolist(), coords.tolist())
+                }
+                for pid in node.bucket:
+                    self._leaf_of[pid] = node
+                return node
+            val = float(sorted_col[mid])
+        node.bucket = None
+        node.dim = dim
+        node.val = val
+        node.left = self._build_bulk(ids[order[:mid]], coords[order[:mid]])
+        node.right = self._build_bulk(ids[order[mid:]], coords[order[mid:]])
         node.left.parent = node
         node.right.parent = node
         return node
@@ -319,3 +400,57 @@ class DynamicKDTree:
                 stack.append(node.left)
                 stack.append(node.right)
         return result
+
+
+class DeferredKDTree:
+    """A :class:`DynamicKDTree` with write-behind bulk insertion.
+
+    ``insert_many`` only buffers its items; the first operation that
+    needs the index folds the whole buffer in via one balanced bulk
+    build.  A buffered point that is deleted before any query never
+    touches the tree at all, which is what keeps ingest-then-evict
+    batches index-free.  Point-at-a-time ``insert`` stays eager, so
+    sequential update paths behave exactly as before.  Shared base of
+    the per-cell emptiness structure and approximate range counter.
+    """
+
+    def __init__(self, dim: int) -> None:
+        self._tree = DynamicKDTree(dim)
+        self._pending: Dict[int, Point] = {}
+
+    def _flush(self) -> None:
+        if self._pending:
+            pending, self._pending = self._pending, {}
+            self._tree.insert_many(list(pending.items()))
+
+    def __len__(self) -> int:
+        return len(self._tree) + len(self._pending)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._pending or pid in self._tree
+
+    def ids(self) -> Iterator[int]:
+        self._flush()
+        return self._tree.ids()
+
+    def point(self, pid: int) -> Point:
+        if pid in self._pending:
+            return self._pending[pid]
+        return self._tree.point(pid)
+
+    def insert(self, pid: int, point: Point) -> None:
+        self._flush()
+        self._tree.insert(pid, point)
+
+    def insert_many(self, items: Sequence[Tuple[int, Point]]) -> None:
+        """Buffer a bulk of ``(id, point)`` pairs (indexed on demand)."""
+        for pid, point in items:
+            if pid in self._pending or pid in self._tree:
+                raise KeyError(f"point id {pid} already present")
+            self._pending[pid] = point
+
+    def delete(self, pid: int) -> None:
+        # A buffered point can leave without ever touching the index.
+        if self._pending.pop(pid, None) is not None:
+            return
+        self._tree.delete(pid)

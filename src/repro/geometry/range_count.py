@@ -15,17 +15,20 @@ boundary, which satisfies the same inequality by construction:
 
 One counter instance covers one grid cell (all its points, core or not);
 the clusterer sums counts over the ``(1+rho)eps``-close cells.
+
+Bulk insertions are buffered and folded into the kd-tree on the first
+operation that needs the index (:class:`repro.geometry.kdtree.
+DeferredKDTree`); the sequential ``insert`` path is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.geometry.kdtree import DynamicKDTree
-from repro.geometry.points import Point
+from repro.geometry.kdtree import DeferredKDTree
 
 
-class ApproximateRangeCounter:
+class ApproximateRangeCounter(DeferredKDTree):
     """Dynamic approximate ball-count over one cell's points."""
 
     def __init__(self, dim: int, eps: float, rho: float) -> None:
@@ -33,30 +36,12 @@ class ApproximateRangeCounter:
             raise ValueError(f"eps must be positive, got {eps}")
         if rho < 0:
             raise ValueError(f"rho must be non-negative, got {rho}")
+        super().__init__(dim)
         self.eps = eps
         self.rho = rho
         self._sq_eps = eps * eps
         relaxed = eps * (1.0 + rho)
         self._sq_relaxed = relaxed * relaxed
-        self._tree = DynamicKDTree(dim)
-
-    def __len__(self) -> int:
-        return len(self._tree)
-
-    def __contains__(self, pid: int) -> bool:
-        return pid in self._tree
-
-    def ids(self) -> Iterator[int]:
-        return self._tree.ids()
-
-    def point(self, pid: int) -> Point:
-        return self._tree.point(pid)
-
-    def insert(self, pid: int, point: Point) -> None:
-        self._tree.insert(pid, point)
-
-    def delete(self, pid: int) -> None:
-        self._tree.delete(pid)
 
     def count(self, q: Sequence[float], stop_at: Optional[int] = None) -> int:
         """Approximate number of stored points in ``B(q, eps)``.
@@ -65,4 +50,5 @@ class ApproximateRangeCounter:
         restricted to this cell's points.  With ``stop_at`` the count may
         saturate early once it reaches that value.
         """
+        self._flush()
         return self._tree.count_fuzzy(q, self._sq_eps, self._sq_relaxed, stop_at)

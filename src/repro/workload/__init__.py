@@ -17,18 +17,27 @@ from repro.workload.seed_spreader import seed_spreader
 from repro.workload.workload import (
     Operation,
     Workload,
+    batch_ops,
     generate_workload,
 )
-from repro.workload.runner import RunResult, run_workload
+from repro.workload.runner import (
+    RunResult,
+    UnsupportedOperationError,
+    run_workload,
+    run_workload_batched,
+)
 from repro.workload.metrics import avgcost_series, maxupdcost_series
 
 __all__ = [
     "Operation",
     "RunResult",
+    "UnsupportedOperationError",
     "Workload",
     "avgcost_series",
+    "batch_ops",
     "generate_workload",
     "maxupdcost_series",
     "run_workload",
+    "run_workload_batched",
     "seed_spreader",
 ]

@@ -3,15 +3,23 @@
 The clusterer must expose ``insert(point) -> pid``, ``delete(pid)`` and
 ``cgroup_by(pids)``.  Costs are wall-clock microseconds per operation,
 mirroring the paper's measurement units.
+
+:func:`run_workload_batched` drives the bulk-update engine instead:
+consecutive same-kind updates are coalesced into ``insert_many`` /
+``delete_many`` calls of at most ``batch_size`` points (queries are
+barriers), with one timed entry per batch.  ``RunResult.op_sizes``
+records how many updates each entry covers, so per-update costs stay
+comparable across the two encodings.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Protocol, Sequence
 
-from repro.workload.workload import Workload
+from repro.workload.workload import Workload, batch_ops
 
 
 class DynamicClusterer(Protocol):
@@ -22,12 +30,63 @@ class DynamicClusterer(Protocol):
     def cgroup_by(self, pids): ...
 
 
+class BulkDynamicClusterer(DynamicClusterer, Protocol):
+    """The bulk-update surface driven by :func:`run_workload_batched`.
+
+    Every clusterer in the repo provides it — the dynamic clusterers via
+    their vectorized paths, the baselines via the sequential fallback of
+    :class:`repro.core.bulk.SequentialBulkMixin`.
+    """
+
+    def insert_many(self, points) -> List[int]: ...
+
+    def delete_many(self, pids) -> None: ...
+
+
+class UnsupportedOperationError(RuntimeError):
+    """A workload operation the clusterer cannot execute.
+
+    Raised with a clear diagnosis instead of letting the clusterer's
+    ``NotImplementedError`` escape mid-run — e.g. when a ``delete`` op
+    reaches the insert-only ``SemiDynamicClusterer``.
+    """
+
+
+def _interpolated_percentile(costs: List[float], p: float) -> float:
+    """Linear-interpolation percentile of a cost list (0-100)."""
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    costs = sorted(costs)
+    if not costs:
+        return 0.0
+    rank = (len(costs) - 1) * (p / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return costs[lo]
+    frac = rank - lo
+    return costs[lo] * (1.0 - frac) + costs[hi] * frac
+
+
 @dataclass
 class RunResult:
-    """Per-operation costs of one workload execution (microseconds)."""
+    """Per-operation costs of one workload execution (microseconds).
+
+    ``op_sizes[i]`` is the number of workload operations entry ``i``
+    covered — 1 for sequential updates and for queries, the batch
+    length for ``insert_many`` / ``delete_many`` entries.  The
+    ``per-update`` / ``per-operation`` accessors amortize batch entries
+    over their sizes, which is what makes batched and sequential runs
+    comparable number-for-number.
+    """
 
     op_kinds: List[str] = field(default_factory=list)
     op_costs: List[float] = field(default_factory=list)
+    op_sizes: List[int] = field(default_factory=list)
+
+    def _sizes(self) -> List[int]:
+        # Hand-built results may omit sizes; treat every entry as 1 op.
+        return self.op_sizes if self.op_sizes else [1] * len(self.op_costs)
 
     @property
     def total_cost(self) -> float:
@@ -38,9 +97,32 @@ class RunResult:
         """The paper's *average workload cost*: avgcost(W)."""
         return self.total_cost / len(self.op_costs) if self.op_costs else 0.0
 
+    @property
+    def operation_count(self) -> int:
+        """Underlying workload operations covered (batches amortized)."""
+        return sum(self._sizes())
+
+    @property
+    def average_cost_per_operation(self) -> float:
+        """avgcost over the underlying operations.
+
+        Equals ``average_cost`` for sequential runs; for batched runs
+        each batch entry is spread over the updates it covered.
+        """
+        count = self.operation_count
+        return self.total_cost / count if count else 0.0
+
     def update_costs(self) -> List[float]:
         return [
             c for k, c in zip(self.op_kinds, self.op_costs) if k != "query"
+        ]
+
+    def per_update_costs(self) -> List[float]:
+        """Update entry costs amortized per covered update."""
+        return [
+            c / s
+            for k, c, s in zip(self.op_kinds, self.op_costs, self._sizes())
+            if k != "query" and s > 0
         ]
 
     def query_costs(self) -> List[float]:
@@ -52,6 +134,30 @@ class RunResult:
     def max_update_cost(self) -> float:
         costs = self.update_costs()
         return max(costs) if costs else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0-100) of the update entry costs.
+
+        Linear interpolation between closest ranks, so ``percentile(50)``
+        is the median update cost and ``percentile(99)`` the tail cost
+        production monitoring watches (the paper itself reports only the
+        maximum).  Batch entries count as one update each (the latency a
+        caller experiences); use :meth:`per_update_percentile` for the
+        amortized view.  Returns 0.0 when the run had no updates.
+        """
+        return _interpolated_percentile(self.update_costs(), p)
+
+    def per_update_percentile(self, p: float) -> float:
+        """The p-th percentile of the amortized per-update costs."""
+        return _interpolated_percentile(self.per_update_costs(), p)
+
+
+def _unsupported(description: str, clusterer: object) -> UnsupportedOperationError:
+    return UnsupportedOperationError(
+        f"{description} but {type(clusterer).__name__} does not support "
+        f"deletions (insert-only algorithm); use FullyDynamicClusterer or "
+        f"an insert-only workload"
+    )
 
 
 def run_workload(
@@ -65,24 +171,90 @@ def run_workload(
     perf = time.perf_counter
     ops = workload.ops if max_ops is None else workload.ops[:max_ops]
     points = workload.points
-    for kind, arg in ops:
+    for position, (kind, arg) in enumerate(ops):
         if kind == "insert":
             start = perf()
             pid = clusterer.insert(points[arg])
             elapsed = perf() - start
             pid_of[arg] = pid
+            size = 1
         elif kind == "delete":
             pid = pid_of.pop(arg)
             start = perf()
-            clusterer.delete(pid)
+            try:
+                clusterer.delete(pid)
+            except NotImplementedError as exc:
+                raise _unsupported(
+                    f"workload op #{position} is a 'delete'", clusterer
+                ) from exc
             elapsed = perf() - start
+            size = 1
         elif kind == "query":
             pids = [pid_of[idx] for idx in arg]
             start = perf()
             clusterer.cgroup_by(pids)
             elapsed = perf() - start
+            size = 1
         else:
             raise ValueError(f"unknown operation kind {kind!r}")
         result.op_kinds.append(kind)
         result.op_costs.append(elapsed * 1e6)
+        result.op_sizes.append(size)
+    return result
+
+
+def run_workload_batched(
+    clusterer: BulkDynamicClusterer,
+    workload: Workload,
+    batch_size: int,
+    max_ops: Optional[int] = None,
+) -> RunResult:
+    """Run (a prefix of) a workload through the bulk-update engine.
+
+    The (prefix of the) operation sequence is re-encoded with
+    :func:`repro.workload.workload.batch_ops` and each ``insert_many`` /
+    ``delete_many`` call is timed as one operation covering
+    ``op_sizes[i]`` updates.  Queries observe the same alive sets as in
+    the sequential encoding, so results are comparable run-for-run.
+    """
+    result = RunResult()
+    pid_of = {}
+    perf = time.perf_counter
+    ops = workload.ops if max_ops is None else workload.ops[:max_ops]
+    points = workload.points
+    ops_done = 0  # underlying workload ops executed, for error reporting
+    for kind, arg in batch_ops(ops, batch_size):
+        if kind == "insert_many":
+            batch = [points[idx] for idx in arg]
+            start = perf()
+            pids = clusterer.insert_many(batch)
+            elapsed = perf() - start
+            for idx, pid in zip(arg, pids):
+                pid_of[idx] = pid
+            size = len(arg)
+        elif kind == "delete_many":
+            pids = [pid_of.pop(idx) for idx in arg]
+            start = perf()
+            try:
+                clusterer.delete_many(pids)
+            except NotImplementedError as exc:
+                raise _unsupported(
+                    f"a bulk delete covers workload ops "
+                    f"#{ops_done}..#{ops_done + len(arg) - 1}",
+                    clusterer,
+                ) from exc
+            elapsed = perf() - start
+            size = len(arg)
+        elif kind == "query":
+            pids = [pid_of[idx] for idx in arg]
+            start = perf()
+            clusterer.cgroup_by(pids)
+            elapsed = perf() - start
+            size = 1
+        else:
+            raise ValueError(f"unknown operation kind {kind!r}")
+        ops_done += size
+        result.op_kinds.append(kind)
+        result.op_costs.append(elapsed * 1e6)
+        result.op_sizes.append(size)
     return result

@@ -11,6 +11,16 @@ appends deletion tokens, re-permutes until every prefix has at least as
 many insertions as tokens, then fills each token with a uniformly random
 currently-alive point.  Step 3 interleaves a query after every ``fqry``
 updates, with ``|Q|`` uniform in ``[2, 100]`` sampled from the alive set.
+
+The *batched* encoding (:func:`batch_ops` / :meth:`Workload.batched`)
+coalesces maximal runs of same-kind updates into bulk operations for the
+``insert_many`` / ``delete_many`` engine:
+
+* ``("insert_many", [idx, ...])`` — one bulk insertion;
+* ``("delete_many", [idx, ...])`` — one bulk deletion;
+* queries pass through unchanged and act as batch barriers, so every
+  query observes exactly the same alive set as in the sequential
+  encoding.
 """
 
 from __future__ import annotations
@@ -51,6 +61,50 @@ class Workload:
     @property
     def query_count(self) -> int:
         return sum(1 for kind, _ in self.ops if kind == "query")
+
+    def batched(self, batch_size: int) -> List[Operation]:
+        """This workload's operations in the batched encoding."""
+        return batch_ops(self.ops, batch_size)
+
+
+def batch_ops(ops: Sequence[Operation], batch_size: int) -> List[Operation]:
+    """Coalesce runs of same-kind updates into bulk operations.
+
+    Maximal runs of consecutive ``insert`` (resp. ``delete``) ops become
+    ``("insert_many", [idx, ...])`` (resp. ``("delete_many", ...)``)
+    chunks of at most ``batch_size`` indices; ``query`` ops pass through
+    unchanged and terminate the current run.  Applying the batched
+    encoding performs the same updates between any two queries as the
+    sequential encoding.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    batched: List[Operation] = []
+    run_kind: Optional[str] = None
+    run: List[int] = []
+
+    def flush() -> None:
+        nonlocal run
+        for start in range(0, len(run), batch_size):
+            batched.append((f"{run_kind}_many", run[start : start + batch_size]))
+        run = []
+
+    for kind, arg in ops:
+        if kind == "query":
+            if run:
+                flush()
+            run_kind = None
+            batched.append((kind, arg))
+        elif kind in ("insert", "delete"):
+            if kind != run_kind and run:
+                flush()
+            run_kind = kind
+            run.append(arg)  # type: ignore[arg-type]
+        else:
+            raise ValueError(f"unknown operation kind {kind!r}")
+    if run:
+        flush()
+    return batched
 
 
 def _good_token_permutation(

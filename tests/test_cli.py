@@ -64,3 +64,34 @@ class TestCommands:
         code = main(["usec", "--n", "8", "--instances", "3"])
         assert code == 0
         assert "3/3 agree" in capsys.readouterr().out
+
+
+class TestBatchedBench:
+    def test_batch_size_flag_parsed(self):
+        args = build_parser().parse_args(["bench", "--batch-size", "64"])
+        assert args.batch_size == 64
+        assert build_parser().parse_args(["bench"]).batch_size is None
+
+    def test_bench_runs_batched(self, capsys):
+        code = main(
+            ["bench", "--n", "150", "--seed", "2", "--batch-size", "32",
+             "double-approx"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batched" in out and "batch=32" in out
+        assert "p99-update" in out
+
+    def test_bench_batched_semi_insert_only(self, capsys):
+        code = main(
+            ["bench", "--n", "120", "--semi", "--batch-size", "16",
+             "semi-approx"]
+        )
+        assert code == 0
+        assert "semi-approx" in capsys.readouterr().out
+
+    def test_invalid_batch_size_clean_error(self, capsys):
+        for bad in ("0", "-4"):
+            code = main(["bench", "--n", "50", "--batch-size", bad, "double-approx"])
+            assert code == 2
+            assert "--batch-size must be >= 1" in capsys.readouterr().err

@@ -182,3 +182,49 @@ def test_hypothesis_closeness_matches_point_distance(dim, eps, ca, cb):
         assert g.cells_close(tuple(a), tuple(b))
     if closest > eps * 1.001:
         assert not g.cells_close(tuple(a), tuple(b))
+
+
+class TestNegativeCoordinateFlooring:
+    """Regression: cell_of must floor (not truncate) negative coordinates,
+    and the vectorized batch bucketing must agree with it exactly."""
+
+    def test_flooring_across_zero(self):
+        g = Grid(1.0, 1)
+        side = g.side
+        assert g.cell_of((-1e-9,)) == (-1,)
+        assert g.cell_of((0.0,)) == (0,)
+        assert g.cell_of((-side,)) == (-1,)
+        assert g.cell_of((-side - 1e-9,)) == (-2,)
+        assert g.cell_of((-2.5 * side,)) == (-3,)
+
+    def test_point_always_inside_its_cell_box(self):
+        rng = random.Random(13)
+        for dim in (1, 2, 3, 5):
+            g = Grid(1.7, dim)
+            for _ in range(300):
+                p = tuple(rng.uniform(-20, 20) for _ in range(dim))
+                lo, hi = g.cell_box(g.cell_of(p))
+                assert all(
+                    lo[i] <= p[i] <= hi[i] for i in range(dim)
+                ), f"{p} escapes box of {g.cell_of(p)}"
+
+    def test_vectorized_bucketing_matches_cell_of(self):
+        import numpy as np
+
+        from repro.core.bulk import bucket_by_cell
+
+        rng = random.Random(7)
+        for dim in (1, 2, 3):
+            g = Grid(0.9, dim)
+            pts = [
+                tuple(rng.uniform(-30, 30) for _ in range(dim))
+                for _ in range(500)
+            ]
+            arr = np.asarray(pts, dtype=float)
+            seen = {}
+            for cell, idxs in bucket_by_cell(arr, g.side):
+                for i in idxs.tolist():
+                    seen[i] = cell
+            assert len(seen) == len(pts)
+            for i, p in enumerate(pts):
+                assert seen[i] == g.cell_of(p)

@@ -212,3 +212,39 @@ def test_hypothesis_exact_equivalence(cloud, minpts):
     ids = [algo.insert(p) for p in cloud]
     idmap = {pid: i for i, pid in enumerate(ids)}
     assert_matches_static(algo.clusters(), idmap, dbscan_brute(cloud, 2.0, minpts))
+
+
+class TestVicinityCountAfterDensePromotion:
+    """Regression: once a cell turns dense every member is promoted and
+    must stop carrying a vicinity count, including points that join the
+    already-dense cell later."""
+
+    def test_counts_cleared_when_cell_turns_dense(self):
+        algo = SemiDynamicClusterer(10.0, 3, dim=2)
+        # All in one cell (side = 10/sqrt(2) ~ 7.07) but pairwise spread.
+        a = algo.insert((0.5, 0.5))
+        b = algo.insert((6.5, 0.5))
+        assert algo.vicinity_count(a) is not None
+        assert algo.vicinity_count(b) is not None
+        c = algo.insert((0.5, 6.5))  # third point: cell now dense
+        for pid in (a, b, c):
+            assert algo.is_core(pid)
+            assert algo.vicinity_count(pid) is None
+
+    def test_late_arrival_into_dense_cell_never_tracked(self):
+        algo = SemiDynamicClusterer(10.0, 3, dim=2)
+        ids = [algo.insert((0.5 + 0.1 * i, 0.5)) for i in range(3)]
+        late = algo.insert((6.9, 6.9))
+        assert algo.is_core(late)
+        assert algo.vicinity_count(late) is None
+        assert all(algo.vicinity_count(pid) is None for pid in ids)
+
+    def test_bulk_path_matches_dense_promotion(self):
+        pts = [(0.5, 0.5), (6.5, 0.5), (0.5, 6.5), (6.9, 6.9)]
+        seq = SemiDynamicClusterer(10.0, 3, dim=2)
+        for p in pts:
+            seq.insert(p)
+        bat = SemiDynamicClusterer(10.0, 3, dim=2)
+        ids = bat.insert_many(pts)
+        assert all(bat.is_core(pid) for pid in ids)
+        assert all(bat.vicinity_count(pid) is None for pid in ids)

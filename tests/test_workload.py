@@ -201,3 +201,188 @@ def test_hypothesis_workload_prefix_invariant(n, frac, seed):
             balance -= 1
         assert balance >= 0
     assert balance == w.insert_count - w.delete_count
+
+
+class TestPercentiles:
+    def _result(self, kinds, costs):
+        from repro.workload.runner import RunResult
+
+        return RunResult(op_kinds=list(kinds), op_costs=list(costs))
+
+    def test_median_and_extremes(self):
+        r = self._result(["insert"] * 5, [5.0, 1.0, 3.0, 2.0, 4.0])
+        assert r.percentile(0) == 1.0
+        assert r.percentile(50) == 3.0
+        assert r.percentile(100) == 5.0
+
+    def test_linear_interpolation(self):
+        r = self._result(["insert"] * 4, [10.0, 20.0, 30.0, 40.0])
+        assert r.percentile(50) == pytest.approx(25.0)
+        assert r.percentile(99) == pytest.approx(39.7)
+
+    def test_queries_excluded(self):
+        r = self._result(
+            ["insert", "query", "insert"], [1.0, 1000.0, 3.0]
+        )
+        assert r.percentile(100) == 3.0
+        assert r.percentile(50) == 2.0
+
+    def test_empty_and_validation(self):
+        r = self._result([], [])
+        assert r.percentile(50) == 0.0
+        with pytest.raises(ValueError):
+            self._result(["insert"], [1.0]).percentile(101)
+        with pytest.raises(ValueError):
+            self._result(["insert"], [1.0]).percentile(-1)
+
+
+class TestBatchedEncoding:
+    def test_runs_coalesced_and_chunked(self):
+        from repro.workload.workload import batch_ops
+
+        ops = [
+            ("insert", 0),
+            ("insert", 1),
+            ("insert", 2),
+            ("delete", 0),
+            ("insert", 3),
+        ]
+        assert batch_ops(ops, 2) == [
+            ("insert_many", [0, 1]),
+            ("insert_many", [2]),
+            ("delete_many", [0]),
+            ("insert_many", [3]),
+        ]
+
+    def test_queries_are_barriers(self):
+        from repro.workload.workload import batch_ops
+
+        ops = [
+            ("insert", 0),
+            ("insert", 1),
+            ("query", [0, 1]),
+            ("insert", 2),
+        ]
+        assert batch_ops(ops, 10) == [
+            ("insert_many", [0, 1]),
+            ("query", [0, 1]),
+            ("insert_many", [2]),
+        ]
+
+    def test_batch_size_validation(self):
+        from repro.workload.workload import batch_ops
+
+        with pytest.raises(ValueError):
+            batch_ops([("insert", 0)], 0)
+
+    def test_workload_batched_method(self):
+        w = generate_workload(100, 2, insert_fraction=0.8, query_frequency=10, seed=3)
+        batched = w.batched(16)
+        singles = sum(
+            len(arg) for kind, arg in batched if kind.endswith("_many")
+        )
+        assert singles == w.update_count
+        assert sum(1 for kind, _ in batched if kind == "query") == w.query_count
+        assert all(
+            len(arg) <= 16 for kind, arg in batched if kind.endswith("_many")
+        )
+
+
+class TestBatchedRunner:
+    def test_records_batches_with_sizes(self):
+        from repro.workload.runner import run_workload_batched
+
+        w = generate_workload(120, 2, insert_fraction=0.75, query_frequency=20, seed=14)
+        algo = FullyDynamicClusterer(200.0, 5, rho=0.001, dim=2)
+        result = run_workload_batched(algo, w, batch_size=16)
+        assert len(result.op_kinds) == len(result.op_costs) == len(result.op_sizes)
+        updates = [
+            s for k, s in zip(result.op_kinds, result.op_sizes) if k != "query"
+        ]
+        assert sum(updates) == w.update_count
+        assert set(result.op_kinds) <= {"insert_many", "delete_many", "query"}
+        assert len(algo) == w.insert_count - w.delete_count
+
+    def test_batched_equals_sequential_final_state(self):
+        from repro.workload.runner import run_workload, run_workload_batched
+
+        w = generate_workload(150, 2, insert_fraction=0.8, query_frequency=25, seed=15)
+        seq = FullyDynamicClusterer(200.0, 5, rho=0.0, dim=2)
+        bat = FullyDynamicClusterer(200.0, 5, rho=0.0, dim=2)
+        run_workload(seq, w)
+        run_workload_batched(bat, w, batch_size=10)
+        canonical = lambda c: (
+            frozenset(frozenset(s) for s in c.clusters().clusters),
+            frozenset(c.clusters().noise),
+        )
+        assert canonical(seq) == canonical(bat)
+
+    def test_max_ops_prefix(self):
+        from repro.workload.runner import run_workload_batched
+
+        w = generate_workload(100, 2, insert_fraction=1.0, seed=16)
+        algo = FullyDynamicClusterer(200.0, 5, rho=0.001, dim=2)
+        result = run_workload_batched(algo, w, batch_size=8, max_ops=40)
+        assert sum(result.op_sizes) == 40
+        assert len(algo) == 40
+
+
+class TestUnsupportedDeleteDiagnosis:
+    """Regression: a delete op reaching the insert-only semi-dynamic
+    clusterer must surface a clear UnsupportedOperationError instead of
+    a bare NotImplementedError escaping mid-run."""
+
+    def test_sequential_runner_raises_clear_error(self):
+        from repro.core.semidynamic import SemiDynamicClusterer
+        from repro.workload.runner import UnsupportedOperationError, run_workload
+
+        w = generate_workload(60, 2, insert_fraction=0.7, seed=17)
+        algo = SemiDynamicClusterer(200.0, 5, dim=2)
+        with pytest.raises(UnsupportedOperationError, match="insert-only"):
+            run_workload(algo, w)
+
+    def test_batched_runner_raises_clear_error(self):
+        from repro.core.semidynamic import SemiDynamicClusterer
+        from repro.workload.runner import (
+            UnsupportedOperationError,
+            run_workload_batched,
+        )
+
+        w = generate_workload(60, 2, insert_fraction=0.7, seed=18)
+        algo = SemiDynamicClusterer(200.0, 5, dim=2)
+        with pytest.raises(UnsupportedOperationError, match="SemiDynamicClusterer"):
+            run_workload_batched(algo, w, batch_size=8)
+
+    def test_error_names_the_offending_op(self):
+        from repro.core.semidynamic import SemiDynamicClusterer
+        from repro.workload.runner import UnsupportedOperationError, run_workload
+
+        w = generate_workload(60, 2, insert_fraction=0.7, seed=19)
+        algo = SemiDynamicClusterer(200.0, 5, dim=2)
+        with pytest.raises(UnsupportedOperationError, match=r"op #\d+"):
+            run_workload(algo, w)
+
+
+class TestAmortizedBatchMetrics:
+    def test_per_update_costs_amortize_batches(self):
+        from repro.workload.runner import RunResult
+
+        r = RunResult(
+            op_kinds=["insert_many", "query", "delete_many"],
+            op_costs=[100.0, 50.0, 30.0],
+            op_sizes=[10, 1, 3],
+        )
+        assert r.per_update_costs() == [10.0, 10.0]
+        assert r.operation_count == 14
+        assert r.average_cost_per_operation == pytest.approx(180.0 / 14)
+        assert r.per_update_percentile(100) == 10.0
+
+    def test_sequential_results_unchanged_by_amortization(self):
+        from repro.workload.runner import run_workload
+
+        w = generate_workload(80, 2, insert_fraction=1.0, query_frequency=20, seed=30)
+        algo = FullyDynamicClusterer(200.0, 5, rho=0.001, dim=2)
+        r = run_workload(algo, w)
+        assert r.per_update_costs() == r.update_costs()
+        assert r.average_cost_per_operation == pytest.approx(r.average_cost)
+        assert r.per_update_percentile(50) == pytest.approx(r.percentile(50))

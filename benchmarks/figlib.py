@@ -70,6 +70,27 @@ def execute(
     return result
 
 
+def tail_lines(rows: List[Tuple[str, RunResult]]) -> List[str]:
+    """p50/p99 update- and query-tail rows for a set of runs.
+
+    The per-update percentiles amortize batch entries over the updates
+    they cover, so sequential and batched runs stay comparable; the
+    query percentiles are raw per-query latencies (the paper's query
+    cost).  These are the tails the CI tripwires watch.
+    """
+    lines = [
+        "scenario\tp50_update_us\tp99_update_us\tp50_query_us\tp99_query_us"
+    ]
+    for name, result in rows:
+        lines.append(
+            f"{name}\t{result.per_update_percentile(50):.2f}\t"
+            f"{result.per_update_percentile(99):.2f}\t"
+            f"{result.query_percentile(50):.2f}\t"
+            f"{result.query_percentile(99):.2f}"
+        )
+    return lines
+
+
 def series_lines(name: str, result: RunResult, marks_count: int = 10) -> List[str]:
     """avgcost(t) and maxupdcost(t) rows for one algorithm run."""
     marks = checkpoints(len(result.op_costs), marks_count)

@@ -26,13 +26,20 @@ from repro.workload.config import (
     eps_for,
 )
 
-from figlib import cached_workload, execute, summarize_average, write_results
+from figlib import (
+    cached_workload,
+    execute,
+    summarize_average,
+    tail_lines,
+    write_results,
+)
 
 DIM = 2
 N = bench_n(1000)
 EPS = eps_for(DIM)
 
 _rows = []
+_tails = []
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -43,7 +50,7 @@ def _dump_series():
             "fig11_semi_queryfreq.txt",
             f"Figure 11: semi-dynamic avg workload cost vs query frequency, "
             f"d={DIM}, N={N}, eps={EPS}, MinPts={MINPTS}, rho={RHO}",
-            [summarize_average(sorted(_rows))],
+            [summarize_average(sorted(_rows)), tail_lines(sorted(_tails))],
         )
 
 
@@ -58,6 +65,7 @@ def test_fig11_cost_vs_query_frequency(benchmark, freq_fraction, algo):
     workload = cached_workload(N, DIM, insert_fraction=1.0, query_frequency=qfreq)
     result = execute(benchmark, factory, workload)
     _rows.append((f"fqry={freq_fraction}N", algo, result.average_cost))
+    _tails.append((f"fqry={freq_fraction}N {algo}", result))
     queries = result.query_costs()
     if queries:
         benchmark.extra_info["mean_query_us"] = round(statistics.mean(queries), 2)

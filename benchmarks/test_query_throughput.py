@@ -1,0 +1,166 @@
+"""Batch-vs-sequential throughput of the C-group-by query engine.
+
+Not a paper figure: this benchmark records what the vectorized
+``cgroup_by_many`` path buys over point-at-a-time query resolution on
+the paper's own data distribution.  The headline measurement is a full
+``clusters()`` snapshot (a Q = P query) over a 2d seed-spreader dataset
+of ``REPRO_BENCH_N`` points (default 50000) under the semi-dynamic
+clusterer at the Table 2 defaults, where the batch engine must be at
+least 3x faster than the sequential per-point path; a second
+measurement covers high-dimensional data under the fully-dynamic
+clusterer after bulk deletions.  A third scenario drives a full batched
+workload and records the p50/p99 update- and query-tail percentiles,
+with generous ratio tripwires that fail CI on gross tail regressions.
+
+Exactness of the engine is asserted separately (and exhaustively) in
+``tests/test_query_equivalence.py``; results are written to
+benchmarks/results/query_throughput.txt.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.core.semidynamic import SemiDynamicClusterer
+from repro.workload.config import MINPTS, RHO, bench_n, eps_for
+from repro.workload.runner import run_workload_batched
+from repro.workload.seed_spreader import seed_spreader
+from repro.workload.workload import generate_workload
+
+from figlib import tail_lines, write_results
+
+DIM = 2
+N = bench_n(50000)
+EPS = eps_for(DIM)
+
+#: Below this dataset size timing noise can eat the win; the speedup
+#: floors are only asserted for full-scale runs.
+ASSERT_FLOOR_N = 20000
+
+_collected = {}
+_tails = []
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def _warmup():
+    """Trigger numpy's lazy one-time imports outside the timed regions.
+
+    Uses more ids than the small-query cutoff so the batch engine itself
+    (not the scalar fallback) gets warmed.
+    """
+    algo = SemiDynamicClusterer(2.0, 3, rho=RHO, dim=2)
+    algo.insert_many([(float(i % 7), float(i // 7)) for i in range(200)])
+    algo.cgroup_by_many(list(algo.ids()))
+    algo.cgroup_by_sequential(list(algo.ids()))
+    algo.clusters()
+
+
+def _coverage(result) -> int:
+    """Distinct ids a query result accounts for (groups plus noise)."""
+    covered = set(result.noise)
+    for group in result.groups:
+        covered.update(group)
+    return len(covered)
+
+
+def test_semi_clusters_snapshot_speedup():
+    """The acceptance scenario: 50k-point Q = P snapshot, semi, 2d."""
+    points = seed_spreader(N, DIM, seed=42)
+    algo = SemiDynamicClusterer(EPS, MINPTS, rho=RHO, dim=DIM)
+    algo.insert_many(points)
+    ids = list(algo.ids())
+    _warmup()
+    # One untimed scalar pass first: it folds every cell's write-behind
+    # insert buffer into its kd-tree, so neither timed run below pays
+    # the one-time index builds and the comparison is query vs query.
+    algo.cgroup_by_sequential(ids)
+
+    t_seq, seq_result = _timed(lambda: algo.cgroup_by_sequential(ids))
+    t_bat, bat_result = _timed(lambda: algo.clusters())
+    speedup = t_seq / t_bat if t_bat > 0 else float("inf")
+    _collected["semi clusters() snapshot"] = (N, t_seq, t_bat, speedup)
+    assert _coverage(seq_result) == N
+    assert sum(len(c) for c in bat_result.clusters) + len(bat_result.noise) >= N
+    if N >= ASSERT_FLOOR_N:
+        assert speedup >= 3.0, (
+            f"cgroup_by_many must be >= 3x sequential at N={N}, got "
+            f"{speedup:.2f}x ({t_seq:.3f}s vs {t_bat:.3f}s)"
+        )
+    else:
+        assert speedup > 0.2, f"batch query path degenerated: {speedup:.2f}x"
+
+
+def test_full_highd_query_speedup():
+    """High-d, fully-dynamic, after bulk churn (non-core-heavy mix)."""
+    dim = 5
+    n = min(N, 15000)
+    points = seed_spreader(n, dim, seed=43)
+    algo = FullyDynamicClusterer(eps_for(dim), MINPTS, rho=RHO, dim=dim)
+    pids = algo.insert_many(points)
+    algo.delete_many(pids[: n // 3])
+    ids = list(algo.ids())
+    _warmup()
+    # Untimed warm pass: see test_semi_clusters_snapshot_speedup.
+    algo.cgroup_by_sequential(ids)
+
+    t_seq, seq_result = _timed(lambda: algo.cgroup_by_sequential(ids))
+    t_bat, bat_result = _timed(lambda: algo.cgroup_by_many(ids))
+    speedup = t_seq / t_bat if t_bat > 0 else float("inf")
+    _collected["full 5d churned snapshot"] = (len(ids), t_seq, t_bat, speedup)
+    assert _coverage(seq_result) == _coverage(bat_result) == len(ids)
+    if n >= ASSERT_FLOOR_N // 2:
+        assert speedup >= 1.5, (
+            f"high-d batch queries must beat sequential at n={n}, got "
+            f"{speedup:.2f}x ({t_seq:.3f}s vs {t_bat:.3f}s)"
+        )
+    else:
+        assert speedup > 0.2, f"batch query path degenerated: {speedup:.2f}x"
+
+
+def test_workload_query_tails():
+    """Record p50/p99 tails of a batched run; trip on gross regressions."""
+    n = min(N, 10000)
+    workload = generate_workload(
+        n, DIM, insert_fraction=5 / 6, query_frequency=max(1, n // 20), seed=7
+    )
+    algo = FullyDynamicClusterer(EPS, MINPTS, rho=RHO, dim=DIM)
+    result = run_workload_batched(algo, workload, batch_size=512)
+    _tails.append((f"full 2d batched n={n}", result))
+
+    p50_q = result.query_percentile(50)
+    p99_q = result.query_percentile(99)
+    p50_u = result.per_update_percentile(50)
+    p99_u = result.per_update_percentile(99)
+    assert p99_q > 0 and p99_u > 0
+    # Gross-regression tripwires (generous ratios, stable on noisy
+    # shared runners): a p99 explosion relative to the median means a
+    # pathological tail — e.g. one query accidentally going quadratic.
+    assert p99_q <= 500 * max(p50_q, 1.0), (
+        f"query tail blew up: p50={p50_q:.1f}us p99={p99_q:.1f}us"
+    )
+    assert p99_u <= 500 * max(p50_u, 1.0), (
+        f"update tail blew up: p50={p50_u:.1f}us p99={p99_u:.1f}us"
+    )
+
+
+def test_zz_write_results():
+    """Runs last (name-ordered): dump the collected series."""
+    lines = ["scenario\tn\tsequential_s\tbatched_s\tspeedup"]
+    for name, (n, t_seq, t_bat, speedup) in _collected.items():
+        lines.append(f"{name}\t{n}\t{t_seq:.4f}\t{t_bat:.4f}\t{speedup:.2f}")
+    blocks = [lines]
+    if _tails:
+        blocks.append(tail_lines(_tails))
+    write_results(
+        "query_throughput.txt",
+        f"Batched C-group-by query engine throughput: d={DIM}, eps={EPS}, "
+        f"MinPts={MINPTS}, rho={RHO}, seed-spreader data",
+        blocks,
+    )
+    assert _collected, "no measurements collected"

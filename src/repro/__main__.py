@@ -102,7 +102,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"  {name:14s} avg {result.average_cost_per_operation:10.1f} us/op   "
             f"max-update {max(per_update) if per_update else 0.0:12.1f} us   "
             f"p99-update {result.per_update_percentile(99):12.1f} us   "
-            f"avg-query {statistics.mean(queries) if queries else 0.0:10.1f} us"
+            f"avg-query {statistics.mean(queries) if queries else 0.0:10.1f} us   "
+            f"p99-query {result.query_percentile(99):10.1f} us"
         )
     return 0
 

@@ -68,6 +68,10 @@ class SlidingWindowClusterer:
     def cgroup_by(self, pids) -> CGroupByResult:
         return self._algo.cgroup_by(pids)
 
+    def cgroup_by_many(self, pids) -> CGroupByResult:
+        """Batched C-group-by through the underlying vectorized engine."""
+        return self._algo.cgroup_by_many(pids)
+
     def clusters(self) -> Clustering:
         return self._algo.clusters()
 

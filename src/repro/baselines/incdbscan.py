@@ -27,18 +27,23 @@ from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.connectivity.union_find import UnionFind
-from repro.core.bulk import SequentialBulkMixin
-from repro.core.framework import CGroupByResult, Clustering
+from repro.core.bulk import SequentialBulkMixin, SequentialQueryMixin
+from repro.core.framework import (
+    CGroupByResult,
+    Clustering,
+    canonical_cgroup_result,
+    validated_query_pids,
+)
 from repro.geometry.points import Point
 from repro.geometry.rtree import RTree
 
 
-class IncDBSCAN(SequentialBulkMixin):
+class IncDBSCAN(SequentialBulkMixin, SequentialQueryMixin):
     """Incremental exact DBSCAN with the C-group-by query interface.
 
-    ``insert_many`` / ``delete_many`` fall back to the sequential loop
-    (IncDBSCAN has no batch formulation), keeping the baseline
-    runner-compatible with batched workloads.
+    ``insert_many`` / ``delete_many`` / ``cgroup_by_many`` fall back to
+    the sequential loops (IncDBSCAN has no batch formulation), keeping
+    the baseline runner-compatible with batched workloads.
     """
 
     def __init__(self, eps: float, minpts: int, dim: int = 2) -> None:
@@ -245,17 +250,16 @@ class IncDBSCAN(SequentialBulkMixin):
         return list(found)
 
     def cgroup_by(self, pids: Iterable[int]) -> CGroupByResult:
+        pid_list = validated_query_pids(pids, self._points)
         groups: Dict[int, List[int]] = {}
         noise: List[int] = []
-        for pid in pids:
-            if pid not in self._points:
-                raise KeyError(f"point id {pid} is not live")
+        for pid in pid_list:
             cids = self._cluster_ids_of(pid)
             if not cids:
                 noise.append(pid)
             for cid in cids:
                 groups.setdefault(cid, []).append(pid)
-        return CGroupByResult(groups=list(groups.values()), noise=noise)
+        return canonical_cgroup_result(groups.values(), noise)
 
     def clusters(self) -> Clustering:
         result = self.cgroup_by(list(self._points.keys()))

@@ -15,16 +15,22 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.baselines.static_dbscan import StaticClustering, dbscan_grid
-from repro.core.bulk import SequentialBulkMixin
-from repro.core.framework import CGroupByResult, Clustering
+from repro.core.bulk import SequentialBulkMixin, SequentialQueryMixin
+from repro.core.framework import (
+    CGroupByResult,
+    Clustering,
+    canonical_cgroup_result,
+    validated_query_pids,
+)
 from repro.geometry.points import Point
 
 
-class RecomputeClusterer(SequentialBulkMixin):
+class RecomputeClusterer(SequentialBulkMixin, SequentialQueryMixin):
     """Exact DBSCAN with O(1) updates and recompute-on-query semantics.
 
     The inherited sequential ``insert_many`` / ``delete_many`` are
-    already optimal here: each update is O(1) cache invalidation.
+    already optimal here: each update is O(1) cache invalidation, and
+    ``cgroup_by_many`` shares the one recompute-on-demand ``cgroup_by``.
     """
 
     def __init__(self, eps: float, minpts: int, dim: int = 2) -> None:
@@ -90,13 +96,12 @@ class RecomputeClusterer(SequentialBulkMixin):
         return self._cache_keys.index(pid) in ref.core
 
     def cgroup_by(self, pids: Iterable[int]) -> CGroupByResult:
+        pid_list = validated_query_pids(pids, self._points)
         ref = self._refresh()
         position = {k: i for i, k in enumerate(self._cache_keys)}
         groups: Dict[int, List[int]] = {}
         noise: List[int] = []
-        for pid in pids:
-            if pid not in self._points:
-                raise KeyError(f"point id {pid} is not live")
+        for pid in pid_list:
             idx = position[pid]
             memberships = [
                 ci for ci, cluster in enumerate(ref.clusters) if idx in cluster
@@ -105,7 +110,7 @@ class RecomputeClusterer(SequentialBulkMixin):
                 noise.append(pid)
             for ci in memberships:
                 groups.setdefault(ci, []).append(pid)
-        return CGroupByResult(groups=list(groups.values()), noise=noise)
+        return canonical_cgroup_result(groups.values(), noise)
 
     def clusters(self) -> Clustering:
         ref = self._refresh()

@@ -10,8 +10,13 @@ Factory helpers mirror the paper's algorithm names: ``semi_exact_2d``,
 ``semi_approx``, ``full_exact_2d``, ``double_approx``.
 """
 
-from repro.core.bulk import SequentialBulkMixin
-from repro.core.framework import CGroupByResult, Clustering, GridClusterer
+from repro.core.bulk import SequentialBulkMixin, SequentialQueryMixin
+from repro.core.framework import (
+    CGroupByResult,
+    Clustering,
+    GridClusterer,
+    canonical_cgroup_result,
+)
 from repro.core.grid import Cell, Grid
 from repro.core.abcp import ABCPInstance, RescanBCP, SuffixABCP, SIDE_A, SIDE_B
 from repro.core.semidynamic import SemiDynamicClusterer, semi_approx, semi_exact_2d
@@ -32,6 +37,8 @@ __all__ = [
     "RescanBCP",
     "SemiDynamicClusterer",
     "SequentialBulkMixin",
+    "SequentialQueryMixin",
+    "canonical_cgroup_result",
     "SIDE_A",
     "SuffixABCP",
     "SIDE_B",

@@ -14,6 +14,12 @@ structure for ablation.
 Exact DBSCAN is the ``rho = 0`` instantiation — ``full_exact_2d`` below is
 the paper's *2d-Full-Exact*, and ``double_approx`` the paper's
 *Double-Approx*.
+
+Queries (``cgroup_by`` / ``cgroup_by_many`` / ``clusters``) resolve
+through the vectorized batch engine inherited from
+:class:`repro.core.framework.GridClusterer`; memoizing ``_cc_id`` per
+query means each component-id lookup against the dynamic-connectivity
+structure happens once per queried core cell, not once per point.
 """
 
 from __future__ import annotations

@@ -14,6 +14,12 @@ skipped (an extra edge there cannot change any CC).
 
 Exact DBSCAN is the ``rho = 0`` instantiation — in particular
 ``semi_exact_2d`` below is the paper's *2d-Semi-Exact* algorithm.
+
+Queries (``cgroup_by`` / ``cgroup_by_many`` / ``clusters``) resolve
+through the vectorized batch engine inherited from
+:class:`repro.core.framework.GridClusterer`; the union-find ``_cc_id``
+resolutions it memoizes per query are exactly the find operations of the
+CC structure.
 """
 
 from __future__ import annotations

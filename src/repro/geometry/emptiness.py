@@ -15,13 +15,29 @@ Bulk insertions are buffered and folded into the kd-tree on the first
 operation that needs the index (:class:`repro.geometry.kdtree.
 DeferredKDTree`), so pure-ingest batches stay index-free; the sequential
 ``insert`` path is unchanged.
+
+``empty_many`` answers a whole batch of queries against the same cell in
+one shot — the primitive behind the batched C-group-by engine.  Small
+structures skip the kd-tree entirely: one exact distance matrix against
+every stored point (tested at the relaxed radius, a legal instantiation
+of the contract) is faster than per-node traversal bookkeeping, and it
+leaves the write-behind buffer unindexed.  Large structures flush and run
+the batched tree traversal, whose has-proof answers match the scalar
+search exactly.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.geometry.kdtree import DeferredKDTree
+import numpy as np
+
+from repro.geometry.kdtree import DeferredKDTree, proofs_within
+
+#: At or below this many stored points ``empty_many`` answers with one
+#: distance matrix instead of the kd-tree (grid cells are usually small,
+#: and the matrix path never forces an index build).
+_MATRIX_CUTOFF = 128
 
 
 class EmptinessStructure(DeferredKDTree):
@@ -43,3 +59,18 @@ class EmptinessStructure(DeferredKDTree):
         """Emptiness query: proof point id, or ``None`` (see module doc)."""
         self._flush()
         return self._tree.find_within(q, self._sq_eps, self._sq_relaxed)
+
+    def empty_many(self, qs: np.ndarray) -> List[Optional[int]]:
+        """Batched emptiness: one proof id (or ``None``) per query row.
+
+        Every answer honours the scalar ``empty`` contract; with
+        ``rho = 0`` both radii coincide and every structure is exact, so
+        the has-proof answers equal per-point ``empty`` calls exactly.
+        """
+        qs = np.asarray(qs, dtype=float)
+        if len(qs) == 0:
+            return []
+        if len(self) <= _MATRIX_CUTOFF:
+            ids, pts = self._items_snapshot()
+            return proofs_within(qs, ids, pts, self._sq_relaxed)
+        return self.find_within_many(qs, self._sq_eps, self._sq_relaxed)

@@ -16,6 +16,12 @@ Key operations:
   bounding box is farther than ``sq_eps`` are pruned, and the search stops
   at the first point within ``sq_relaxed`` — this is what makes the
   (1+rho)-slack genuinely cheaper than an exact search.
+* ``find_within_many(qs, sq_eps, sq_relaxed)`` — the batched form: one
+  traversal carries all still-unresolved queries down the tree, with box
+  pruning and leaf distance tests vectorized over the query set.  Pruning
+  and acceptance use the same thresholds as the scalar search, so for every
+  query the *is-there-a-proof* answer is identical to ``find_within`` (only
+  the choice of proof id may differ).
 * ``count_fuzzy(q, sq_eps, sq_relaxed, stop_at)`` — returns ``k`` with
   ``|B(q, eps)| <= k <= |B(q, (1+rho)eps)|``; whole subtrees inside the
   relaxed ball are counted without descending.
@@ -40,6 +46,38 @@ _LEAF_CAP = 8
 #: Below this subtree size the bulk loader delegates to the plain
 #: list-based builder (numpy per-node overhead dominates small arrays).
 _BULK_CUTOFF = 512
+
+#: Cap on the number of entries materialized per distance-matrix chunk
+#: in the batched query helpers.
+_CHUNK_ENTRIES = 2_000_000
+
+
+def proofs_within(
+    qs: np.ndarray,
+    ids: Sequence[int],
+    pts: np.ndarray,
+    sq_radius: float,
+) -> List[Optional[int]]:
+    """For each query row, some id of ``pts`` within the ball, else ``None``.
+
+    Distances use the exact difference formula (the vectorized twin of
+    ``sq_dist``, summing coordinates in the same order), so membership
+    decisions are bit-identical to scalar comparisons.  Proofs are the
+    lowest-index match, which makes the output deterministic.  Chunked so
+    no intermediate array exceeds ``_CHUNK_ENTRIES`` entries.
+    """
+    out: List[Optional[int]] = [None] * len(qs)
+    if len(qs) == 0 or len(ids) == 0:
+        return out
+    per_row = len(ids) * qs.shape[1]
+    chunk = max(1, _CHUNK_ENTRIES // per_row)
+    for start in range(0, len(qs), chunk):
+        block = qs[start : start + chunk]
+        diff = block[:, None, :] - pts[None, :, :]
+        hit = np.einsum("ijk,ijk->ij", diff, diff) <= sq_radius
+        for row in np.nonzero(hit.any(axis=1))[0].tolist():
+            out[start + row] = ids[int(np.argmax(hit[row]))]
+    return out
 
 
 class _Node:
@@ -341,6 +379,55 @@ class DynamicKDTree:
                 stack.append(node.right)
         return None
 
+    def find_within_many(
+        self, qs: np.ndarray, sq_eps: float, sq_relaxed: float
+    ) -> List[Optional[int]]:
+        """Batched approximate emptiness search over an ``(n, dim)`` array.
+
+        One traversal carries every still-unresolved query down the tree:
+        at each node the box lower bounds of all active queries are
+        computed in one vectorized pass and queries farther than
+        ``sq_eps`` drop out (the scalar pruning rule); at each leaf one
+        exact distance matrix resolves every active query with a bucket
+        point within ``sq_relaxed``.  The same thresholds as the scalar
+        search mean the has-proof answer matches ``find_within`` exactly.
+        """
+        n = len(qs)
+        out: List[Optional[int]] = [None] * n
+        if n == 0 or not self._points:
+            return out
+        resolved = np.zeros(n, dtype=bool)
+        stack: List[Tuple[_Node, np.ndarray]] = [(self._root, np.arange(n))]
+        while stack:
+            node, active = stack.pop()
+            active = active[~resolved[active]]
+            if node.size == 0 or len(active) == 0:
+                continue
+            q = qs[active]
+            lo = np.asarray(node.lo)
+            hi = np.asarray(node.hi)
+            gap = np.maximum(np.maximum(lo - q, q - hi), 0.0)
+            active = active[np.einsum("ij,ij->i", gap, gap) <= sq_eps]
+            if len(active) == 0:
+                continue
+            if node.is_leaf():
+                assert node.bucket is not None
+                if not node.bucket:
+                    continue
+                pids = list(node.bucket.keys())
+                pts = np.array(list(node.bucket.values()), dtype=float)
+                proofs = proofs_within(qs[active], pids, pts, sq_relaxed)
+                for row, proof in enumerate(proofs):
+                    if proof is not None:
+                        gi = int(active[row])
+                        out[gi] = proof
+                        resolved[gi] = True
+            else:
+                assert node.left is not None and node.right is not None
+                stack.append((node.left, active))
+                stack.append((node.right, active))
+        return out
+
     def count_fuzzy(
         self,
         q: Sequence[float],
@@ -418,10 +505,26 @@ class DeferredKDTree:
         self._tree = DynamicKDTree(dim)
         self._pending: Dict[int, Point] = {}
 
+    @property
+    def dim(self) -> int:
+        return self._tree.dim
+
     def _flush(self) -> None:
         if self._pending:
             pending, self._pending = self._pending, {}
             self._tree.insert_many(list(pending.items()))
+
+    def _items_snapshot(self) -> Tuple[List[int], np.ndarray]:
+        """All ``(ids, coords)`` — indexed *and* buffered — without flushing.
+
+        Lets matrix-based batched queries answer over small structures
+        while the write-behind buffer stays unindexed.
+        """
+        ids = list(self._tree._points.keys()) + list(self._pending.keys())
+        if not ids:
+            return ids, np.empty((0, self.dim), dtype=float)
+        coords = list(self._tree._points.values()) + list(self._pending.values())
+        return ids, np.array(coords, dtype=float)
 
     def __len__(self) -> int:
         return len(self._tree) + len(self._pending)
@@ -437,6 +540,13 @@ class DeferredKDTree:
         if pid in self._pending:
             return self._pending[pid]
         return self._tree.point(pid)
+
+    def find_within_many(
+        self, qs: np.ndarray, sq_eps: float, sq_relaxed: float
+    ) -> List[Optional[int]]:
+        """Batched emptiness search (folds the buffer in first)."""
+        self._flush()
+        return self._tree.find_within_many(qs, sq_eps, sq_relaxed)
 
     def insert(self, pid: int, point: Point) -> None:
         self._flush()

@@ -4,12 +4,13 @@ The clusterer must expose ``insert(point) -> pid``, ``delete(pid)`` and
 ``cgroup_by(pids)``.  Costs are wall-clock microseconds per operation,
 mirroring the paper's measurement units.
 
-:func:`run_workload_batched` drives the bulk-update engine instead:
-consecutive same-kind updates are coalesced into ``insert_many`` /
-``delete_many`` calls of at most ``batch_size`` points (queries are
-barriers), with one timed entry per batch.  ``RunResult.op_sizes``
-records how many updates each entry covers, so per-update costs stay
-comparable across the two encodings.
+:func:`run_workload_batched` drives the bulk engine instead: consecutive
+same-kind updates are coalesced into ``insert_many`` / ``delete_many``
+calls of at most ``batch_size`` points, queries are barriers resolved
+through the batched ``cgroup_by_many`` query engine, and each bulk call
+is one timed entry.  ``RunResult.op_sizes`` records how many updates
+each entry covers, so per-update costs stay comparable across the two
+encodings.
 """
 
 from __future__ import annotations
@@ -31,16 +32,20 @@ class DynamicClusterer(Protocol):
 
 
 class BulkDynamicClusterer(DynamicClusterer, Protocol):
-    """The bulk-update surface driven by :func:`run_workload_batched`.
+    """The bulk surface driven by :func:`run_workload_batched`.
 
     Every clusterer in the repo provides it — the dynamic clusterers via
-    their vectorized paths, the baselines via the sequential fallback of
-    :class:`repro.core.bulk.SequentialBulkMixin`.
+    their vectorized update paths and the shared batched query engine,
+    the baselines via the sequential fallbacks of
+    :class:`repro.core.bulk.SequentialBulkMixin` and
+    :class:`repro.core.bulk.SequentialQueryMixin`.
     """
 
     def insert_many(self, points) -> List[int]: ...
 
     def delete_many(self, pids) -> None: ...
+
+    def cgroup_by_many(self, pids): ...
 
 
 class UnsupportedOperationError(RuntimeError):
@@ -151,6 +156,16 @@ class RunResult:
         """The p-th percentile of the amortized per-update costs."""
         return _interpolated_percentile(self.per_update_costs(), p)
 
+    def query_percentile(self, p: float) -> float:
+        """The p-th percentile (0-100) of the query entry costs.
+
+        The query-side tail twin of :meth:`percentile` — ``p50``/``p99``
+        of these are what the benchmark result files record and what the
+        CI tail tripwires watch.  Returns 0.0 when the run had no
+        queries.
+        """
+        return _interpolated_percentile(self.query_costs(), p)
+
 
 def _unsupported(description: str, clusterer: object) -> UnsupportedOperationError:
     return UnsupportedOperationError(
@@ -248,7 +263,7 @@ def run_workload_batched(
         elif kind == "query":
             pids = [pid_of[idx] for idx in arg]
             start = perf()
-            clusterer.cgroup_by(pids)
+            clusterer.cgroup_by_many(pids)
             elapsed = perf() - start
             size = 1
         else:

@@ -111,3 +111,68 @@ class TestApproximateRangeCounter:
         c.insert(3, (1.5, 2.5))
         assert c.point(3) == (1.5, 2.5)
         assert 3 in c
+
+
+class TestEmptyMany:
+    """Batched emptiness: both the matrix path (small structures) and
+    the kd-tree path (large ones) must honour the scalar contract."""
+
+    def _filled(self, n, rho, seed=0, dim=2):
+        import random as _random
+
+        rng = _random.Random(seed)
+        s = EmptinessStructure(dim, 1.0, rho)
+        pts = {}
+        for pid in range(n):
+            p = tuple(rng.random() * 6 for _ in range(dim))
+            pts[pid] = p
+            s.insert(pid, p)
+        return s, pts, rng
+
+    @pytest.mark.parametrize("n", (5, 60, 400))
+    def test_exact_mode_matches_scalar(self, n):
+        """rho = 0 crosses the matrix cutoff at n=400: all paths exact."""
+        import numpy as np
+
+        s, pts, rng = self._filled(n, rho=0.0, seed=n)
+        qs = np.array([[rng.random() * 7, rng.random() * 7] for _ in range(150)])
+        proofs = s.empty_many(qs)
+        assert len(proofs) == 150
+        for q, proof in zip(qs, proofs):
+            assert (proof is None) == (s.empty(tuple(q)) is None)
+            if proof is not None:
+                assert sq_dist(pts[proof], tuple(q)) <= 1.0
+
+    @pytest.mark.parametrize("n", (20, 400))
+    def test_relaxed_mode_contract(self, n):
+        import numpy as np
+
+        s, pts, rng = self._filled(n, rho=0.4, seed=n + 1)
+        sq_relaxed = 1.4 ** 2
+        qs = np.array([[rng.random() * 7, rng.random() * 7] for _ in range(150)])
+        for q, proof in zip(qs, s.empty_many(qs)):
+            has_tight = any(sq_dist(p, tuple(q)) <= 1.0 for p in pts.values())
+            if has_tight:
+                assert proof is not None
+            if proof is not None:
+                assert sq_dist(pts[proof], tuple(q)) <= sq_relaxed + 1e-12
+
+    def test_matrix_path_sees_buffer_without_flushing(self):
+        """Small-structure batched queries answer over buffered points
+        while leaving the write-behind buffer unindexed."""
+        import numpy as np
+
+        s = EmptinessStructure(2, 1.0, 0.0)
+        s.insert_many([(1, (0.0, 0.0)), (2, (4.0, 4.0))])
+        assert s._pending  # still buffered
+        proofs = s.empty_many(np.array([[0.5, 0.0], [4.0, 4.5], [2.0, 2.0]]))
+        assert proofs == [1, 2, None]
+        assert s._pending  # the batched matrix query did not flush
+
+    def test_empty_inputs(self):
+        import numpy as np
+
+        s = EmptinessStructure(2, 1.0, 0.0)
+        assert s.empty_many(np.empty((0, 2))) == []
+        s.insert(1, (0.0, 0.0))
+        assert s.empty_many(np.array([[3.0, 3.0]])) == [None]

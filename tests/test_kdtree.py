@@ -201,3 +201,77 @@ def test_hypothesis_deletion_sequences(cloud, data):
     got = tree.find_within(q, 1.0, 1.0)
     tight = brute_ball(points, q, 1.0)
     assert (got is not None) == bool(tight)
+
+
+class TestFindWithinMany:
+    """The batched emptiness search against the scalar contract."""
+
+    def _random_tree(self, rng, n, dim, extent=6.0):
+        tree = DynamicKDTree(dim)
+        points = {}
+        for pid in range(n):
+            p = tuple(rng.random() * extent for _ in range(dim))
+            tree.insert(pid, p)
+            points[pid] = p
+        return tree, points
+
+    def test_empty_tree_and_empty_batch(self):
+        import numpy as np
+
+        tree = DynamicKDTree(2)
+        assert tree.find_within_many(np.empty((0, 2)), 1.0, 1.0) == []
+        assert tree.find_within_many(np.array([[0.0, 0.0]]), 1.0, 1.0) == [None]
+
+    @pytest.mark.parametrize("dim", (1, 2, 3, 5))
+    @pytest.mark.parametrize("rho", (0.0, 0.3))
+    def test_has_proof_matches_scalar(self, dim, rho):
+        """Pruning and acceptance thresholds match the scalar search, so
+        the is-there-a-proof answer must be identical query by query."""
+        import numpy as np
+
+        rng = random.Random(dim * 7 + int(rho * 10))
+        tree, points = self._random_tree(rng, 150, dim)
+        sq_eps = 1.0
+        sq_relaxed = (1.0 + rho) ** 2
+        qs = np.array(
+            [[rng.random() * 6 for _ in range(dim)] for _ in range(120)]
+        )
+        batch = tree.find_within_many(qs, sq_eps, sq_relaxed)
+        for q, proof in zip(qs, batch):
+            scalar = tree.find_within(tuple(q), sq_eps, sq_relaxed)
+            assert (proof is None) == (scalar is None)
+            if proof is not None:
+                assert sq_dist(points[proof], tuple(q)) <= sq_relaxed
+
+    def test_after_deletions_and_rebuild(self):
+        import numpy as np
+
+        rng = random.Random(11)
+        tree, points = self._random_tree(rng, 200, 2)
+        for pid in list(points)[::2]:
+            tree.delete(pid)
+            del points[pid]
+        qs = np.array([[rng.random() * 6, rng.random() * 6] for _ in range(80)])
+        batch = tree.find_within_many(qs, 1.0, 1.0)
+        for q, proof in zip(qs, batch):
+            tight = brute_ball(points, tuple(q), 1.0)
+            assert (proof is not None) == bool(tight)
+            if proof is not None:
+                assert proof in tight
+
+
+class TestProofsWithin:
+    def test_matrix_helper_exact_and_deterministic(self):
+        import numpy as np
+
+        from repro.geometry.kdtree import proofs_within
+
+        ids = [5, 9, 11, 40]
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0], [5.0, 5.0]])
+        qs = np.array([[0.1, 0.0], [1.0, 0.0], [9.0, 9.0]])
+        got = proofs_within(qs, ids, pts, 1.0)
+        # Lowest-index match wins: the first query is within 1.0 of both
+        # point 5 (d^2=0.01) and nothing else; the second of 5 and 9.
+        assert got == [5, 5, None]
+        assert proofs_within(np.empty((0, 2)), ids, pts, 1.0) == []
+        assert proofs_within(qs, [], np.empty((0, 2)), 1.0) == [None] * 3

@@ -1,0 +1,327 @@
+"""Batch-vs-sequential equivalence harness for the C-group-by engine.
+
+``cgroup_by_many`` must produce results equivalent to per-point
+resolution (``cgroup_by_sequential``):
+
+* with ``rho = 0`` every emptiness decision is exact, so the batched
+  result (groups and noise, in the shared canonical ordering) must be
+  *identical* to the sequential path on every configuration;
+* with ``rho > 0`` each path may legally answer differently inside the
+  approximation band, so the batched result is validated against
+  first-principles membership bounds: every component holding a core
+  point within ``eps`` of a queried point must be reported for it, and
+  no component farther than ``(1+rho) * eps`` may be.
+
+The harness sweeps dims 2/3/5, rho in {0, 0.001, 0.1}, core-heavy /
+mixed / noise-heavy regimes, random subset queries, and queries
+interleaved with bulk updates through both dynamic clusterers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+import pytest
+
+import repro.core.framework as framework
+from repro.core.framework import CGroupByResult, canonical_cgroup_result
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.core.semidynamic import SemiDynamicClusterer
+from repro.geometry.points import sq_dist
+from repro.workload.workload import generate_workload
+
+from conftest import clustered_points, random_points
+
+Point = Tuple[float, ...]
+
+DIMS = (2, 3, 5)
+RHOS = (0.0, 0.001, 0.1)
+REGIMES = ("dense", "mixed", "sparse")
+
+
+@pytest.fixture(autouse=True)
+def force_batch_engine(monkeypatch):
+    """Exercise the vectorized engine even on small queries.
+
+    ``cgroup_by_many`` routes queries at or below the cutoff through the
+    scalar path (they would trivially compare equal to themselves); the
+    harness zeroes the cutoff so every comparison below genuinely pits
+    the batch engine against per-point resolution.  The cutoff's own
+    routing behavior is covered by ``test_small_query_cutoff_routing``.
+    """
+    monkeypatch.setattr(framework, "_SEQUENTIAL_QUERY_CUTOFF", 0)
+
+
+def _points_for(regime: str, n: int, dim: int, seed: int) -> List[Point]:
+    if regime == "dense":
+        # Everything crowds into a handful of cells: almost all core.
+        return random_points(n, dim, extent=3.0, seed=seed)
+    if regime == "mixed":
+        # Blobs of varied density plus outliers: core, border and noise.
+        return clustered_points(n, dim, seed=seed)
+    # Spread thin: mostly noise, plenty of empty neighbor probes.
+    return random_points(n, dim, extent=400.0, seed=seed)
+
+
+def _assert_identical(batch: CGroupByResult, seq: CGroupByResult) -> None:
+    assert batch.groups == seq.groups
+    assert batch.noise == seq.noise
+
+
+def _assert_canonical(result: CGroupByResult) -> None:
+    """The deterministic-ordering contract of every clusterer result."""
+    for group in result.groups:
+        assert group == sorted(set(group))
+    assert result.groups == sorted(result.groups)
+    assert result.noise == sorted(set(result.noise))
+
+
+def _membership_bounds(algo, pid: int):
+    """First-principles (must, may) component sets for one queried point.
+
+    ``must`` holds the CC ids of close core cells with a core point
+    within ``eps`` (memberships every legal answer reports); ``may``
+    additionally allows anything within ``(1+rho) * eps`` (the don't-care
+    band of the emptiness contract).
+    """
+    pt = algo.point(pid)
+    cell = algo._grid.cell_of(pt)
+    data = algo._cells[cell]
+    if pid in data.core:
+        cid = algo._cc_id(cell)
+        return {cid}, {cid}
+    must: Set = set()
+    may: Set = set()
+    if data.core:
+        # Same-cell core points are within eps by the cell diameter.
+        cid = algo._cc_id(cell)
+        must.add(cid)
+        may.add(cid)
+    for other in data.neighbors:
+        odata = algo._cells[other]
+        if not odata.core:
+            continue
+        dmin = min(sq_dist(algo.point(c), pt) for c in odata.core)
+        cid = algo._cc_id(other)
+        if dmin <= algo._sq_eps:
+            must.add(cid)
+            may.add(cid)
+        elif dmin <= algo._sq_relaxed:
+            may.add(cid)
+    return must, may
+
+
+def _assert_sandwich_legal_full_query(algo) -> None:
+    """Validate a Q = P batched query against the membership bounds."""
+    result = algo.cgroup_by_many(list(algo.ids()))
+    _assert_canonical(result)
+    reported: Dict[int, Set] = {pid: set() for pid in algo.ids()}
+    for group in result.groups:
+        core_members = [pid for pid in group if algo.is_core(pid)]
+        assert core_members, "every reported cluster must hold a core point"
+        cids = {
+            algo._cc_id(algo._grid.cell_of(algo.point(pid)))
+            for pid in core_members
+        }
+        assert len(cids) == 1, "a group must map to exactly one component"
+        cid = cids.pop()
+        for pid in group:
+            reported[pid].add(cid)
+    for pid in result.noise:
+        assert not reported[pid]
+    for pid in algo.ids():
+        must, may = _membership_bounds(algo, pid)
+        assert must <= reported[pid] <= may, (
+            f"pid {pid}: reported {reported[pid]} outside [{must}, {may}]"
+        )
+
+
+class TestExactIdentical:
+    """rho = 0: the batched engine must equal per-point resolution."""
+
+    @pytest.mark.parametrize("dim", DIMS)
+    @pytest.mark.parametrize("regime", REGIMES)
+    def test_semi_full_and_subset_queries(self, dim, regime):
+        points = _points_for(regime, 240, dim, seed=dim * 11 + len(regime))
+        algo = SemiDynamicClusterer(2.0, 5, rho=0.0, dim=dim)
+        ids = algo.insert_many(points)
+        _assert_identical(
+            algo.cgroup_by_many(ids), algo.cgroup_by_sequential(ids)
+        )
+        rng = random.Random(dim)
+        for _ in range(6):
+            q = rng.sample(ids, 25)
+            _assert_identical(
+                algo.cgroup_by_many(q), algo.cgroup_by_sequential(q)
+            )
+
+    @pytest.mark.parametrize("dim", DIMS)
+    @pytest.mark.parametrize("regime", REGIMES)
+    def test_full_after_bulk_churn(self, dim, regime):
+        points = _points_for(regime, 220, dim, seed=dim * 17 + len(regime))
+        algo = FullyDynamicClusterer(2.0, 4, rho=0.0, dim=dim)
+        ids = algo.insert_many(points)
+        algo.delete_many(ids[::3])
+        live = list(algo.ids())
+        _assert_identical(
+            algo.cgroup_by_many(live), algo.cgroup_by_sequential(live)
+        )
+        rng = random.Random(dim + 99)
+        for _ in range(6):
+            q = rng.sample(live, 20)
+            _assert_identical(
+                algo.cgroup_by_many(q), algo.cgroup_by_sequential(q)
+            )
+
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_queries_interleaved_with_bulk_updates(self, seed):
+        """Every query barrier of a batched workload answers identically."""
+        workload = generate_workload(
+            260, 2, insert_fraction=0.75, query_frequency=20, seed=seed
+        )
+        algo = FullyDynamicClusterer(150.0, 5, rho=0.0, dim=2)
+        pid_of: Dict[int, int] = {}
+        compared = 0
+        for kind, arg in workload.batched(25):
+            if kind == "insert_many":
+                pids = algo.insert_many([workload.points[i] for i in arg])
+                pid_of.update(zip(arg, pids))
+            elif kind == "delete_many":
+                algo.delete_many([pid_of.pop(i) for i in arg])
+            else:
+                q = [pid_of[i] for i in arg]
+                _assert_identical(
+                    algo.cgroup_by_many(q), algo.cgroup_by_sequential(q)
+                )
+                compared += 1
+        assert compared > 0
+
+    def test_small_query_cutoff_routing(self, monkeypatch):
+        """At the default cutoff, small queries take the scalar path and
+        large ones the engine — with identical canonical results."""
+        monkeypatch.setattr(framework, "_SEQUENTIAL_QUERY_CUTOFF", 128)
+        points = _points_for("mixed", 300, 2, seed=31)
+        algo = SemiDynamicClusterer(2.0, 5, rho=0.0, dim=2)
+        ids = algo.insert_many(points)
+        calls = []
+        original = algo.__class__.cgroup_by_sequential
+
+        def spy(self, pids):
+            calls.append(len(list(pids)))
+            return original(self, pids)
+
+        monkeypatch.setattr(algo.__class__, "cgroup_by_sequential", spy)
+        small = algo.cgroup_by_many(ids[:50])
+        assert calls == [50]  # routed through the scalar path
+        calls.clear()
+        large = algo.cgroup_by_many(ids)
+        assert calls == []  # stayed on the engine
+        monkeypatch.setattr(algo.__class__, "cgroup_by_sequential", original)
+        _assert_identical(small, algo.cgroup_by_sequential(ids[:50]))
+        _assert_identical(large, algo.cgroup_by_sequential(ids))
+
+    def test_cgroup_by_routes_through_batch_engine(self):
+        """The public entry points agree with both resolution paths."""
+        points = _points_for("mixed", 150, 2, seed=3)
+        algo = SemiDynamicClusterer(2.0, 5, rho=0.0, dim=2)
+        ids = algo.insert_many(points)
+        result = algo.cgroup_by(ids)
+        _assert_identical(result, algo.cgroup_by_many(ids))
+        clustering = algo.clusters()
+        assert [sorted(c) for c in clustering.clusters] == result.groups
+        assert sorted(clustering.noise) == result.noise
+
+
+class TestApproximateLegal:
+    """rho > 0: batched answers must stay inside the sandwich band."""
+
+    @pytest.mark.parametrize("dim", DIMS)
+    @pytest.mark.parametrize("rho", RHOS[1:])
+    def test_semi_full_query_legal(self, dim, rho):
+        points = _points_for("mixed", 200, dim, seed=dim + int(rho * 1000))
+        algo = SemiDynamicClusterer(2.5, 4, rho=rho, dim=dim)
+        algo.insert_many(points)
+        _assert_sandwich_legal_full_query(algo)
+
+    @pytest.mark.parametrize("rho", RHOS[1:])
+    @pytest.mark.parametrize("regime", REGIMES)
+    def test_full_churned_query_legal(self, rho, regime):
+        points = _points_for(regime, 180, 3, seed=int(rho * 10_000) + len(regime))
+        algo = FullyDynamicClusterer(2.5, 4, rho=rho, dim=3)
+        ids = algo.insert_many(points)
+        algo.delete_many(ids[::4])
+        _assert_sandwich_legal_full_query(algo)
+
+
+class TestQueryValidation:
+    """Dead pids must fail the whole query before any group is built."""
+
+    def test_dead_pid_rejected_up_front(self):
+        algo = FullyDynamicClusterer(1.0, 2, dim=2)
+        pids = algo.insert_many([(0.0, 0.0), (0.1, 0.1), (5.0, 5.0)])
+        algo.delete(pids[1])
+        for query in ([pids[0], pids[1]], [pids[1], pids[0]], [999]):
+            with pytest.raises(KeyError, match="not live"):
+                algo.cgroup_by(query)
+            with pytest.raises(KeyError, match="not live"):
+                algo.cgroup_by_sequential(query)
+
+    def test_error_lists_every_dead_pid(self):
+        algo = SemiDynamicClusterer(1.0, 2, dim=2)
+        pid = algo.insert((0.0, 0.0))
+        with pytest.raises(KeyError, match=r"777.*888|888.*777"):
+            algo.cgroup_by([pid, 888, 777])
+
+    def test_empty_query(self):
+        algo = SemiDynamicClusterer(1.0, 2, dim=2)
+        algo.insert((0.0, 0.0))
+        result = algo.cgroup_by_many([])
+        assert result.groups == [] and result.noise == []
+
+
+class TestDeterministicOrdering:
+    """The canonical-result satellite: stable, iteration-order-free."""
+
+    def test_canonical_helper(self):
+        result = canonical_cgroup_result(
+            [[9, 3, 3], [], [5, 2], [4]], noise=[8, 1, 8]
+        )
+        assert result.groups == [[2, 5], [3, 9], [4]]
+        assert result.noise == [1, 8]
+
+    def test_engine_results_are_canonical(self):
+        points = _points_for("mixed", 200, 2, seed=13)
+        algo = SemiDynamicClusterer(2.0, 5, rho=0.001, dim=2)
+        ids = algo.insert_many(points)
+        rng = random.Random(5)
+        shuffled = ids[:]
+        rng.shuffle(shuffled)
+        _assert_canonical(algo.cgroup_by_many(shuffled))
+        _assert_canonical(algo.cgroup_by_sequential(shuffled))
+        # Query order must not affect the result at all.
+        _assert_identical(
+            algo.cgroup_by_many(shuffled), algo.cgroup_by_many(ids)
+        )
+
+    def test_duplicate_query_ids_deduplicated(self):
+        algo = SemiDynamicClusterer(1.0, 1, dim=1)
+        a = algo.insert((0.0,))
+        b = algo.insert((10.0,))
+        result = algo.cgroup_by_many([a, a, b, b, a])
+        assert result.groups == [[a], [b]]
+
+    def test_baseline_results_are_canonical(self):
+        from repro.baselines.incdbscan import IncDBSCAN
+        from repro.baselines.naive_dynamic import RecomputeClusterer
+
+        points = _points_for("mixed", 120, 2, seed=7)
+        for algo in (IncDBSCAN(2.0, 5, dim=2), RecomputeClusterer(2.0, 5, dim=2)):
+            ids = [algo.insert(p) for p in points]
+            result = algo.cgroup_by(ids)
+            _assert_canonical(result)
+            # The SequentialQueryMixin fallback answers identically.
+            fallback = algo.cgroup_by_many(ids)
+            _assert_identical(fallback, result)
+            with pytest.raises(KeyError, match="not live"):
+                algo.cgroup_by([ids[0], 10_000])

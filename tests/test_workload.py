@@ -235,6 +235,18 @@ class TestPercentiles:
         with pytest.raises(ValueError):
             self._result(["insert"], [1.0]).percentile(-1)
 
+    def test_query_percentile_mirrors_update_percentile(self):
+        r = self._result(
+            ["insert", "query", "query", "query", "insert"],
+            [1000.0, 10.0, 30.0, 20.0, 2000.0],
+        )
+        assert r.query_percentile(0) == 10.0
+        assert r.query_percentile(50) == 20.0
+        assert r.query_percentile(100) == 30.0
+        assert self._result(["insert"], [1.0]).query_percentile(99) == 0.0
+        with pytest.raises(ValueError):
+            r.query_percentile(101)
+
 
 class TestBatchedEncoding:
     def test_runs_coalesced_and_chunked(self):

@@ -104,10 +104,17 @@ def series_lines(name: str, result: RunResult, marks_count: int = 10) -> List[st
 
 
 def write_results(filename: str, header: str, blocks: List[List[str]]) -> Path:
-    """Write one figure's series blocks to benchmarks/results/."""
+    """Write one figure's series blocks to benchmarks/results/.
+
+    The header is stamped with the active kernel backend
+    (:mod:`repro.kernels`), so every results file records which compute
+    substrate produced its numbers.
+    """
+    from repro import kernels
+
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / filename
-    content = [f"# {header}"]
+    content = [f"# {header} [backend={kernels.active_backend_name()}]"]
     for block in blocks:
         content.append("")
         content.extend(block)

@@ -1,0 +1,111 @@
+"""Per-kernel throughput of every backend (the kernels-layer smoke bench).
+
+Not a paper figure: this microbenchmark times each dispatched kernel on
+synthetic cell-neighborhood-shaped data under both registered backends
+and records the throughputs side by side, so a backend regression (or a
+future accelerator port) shows up as a number, not a feeling.  Sizes
+scale with ``REPRO_BENCH_N``.
+
+Results are written to benchmarks/results/kernel_microbench.txt.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import kernels
+from repro.workload.config import bench_n
+
+from figlib import write_results
+
+DIM = 3
+N = bench_n(20000)
+#: Rows on the "b" side of pair kernels (a dense cell neighborhood).
+M = max(64, min(4000, N // 5))
+SQ_RADIUS = 0.25
+
+BACKENDS = ("numpy", "accel")
+
+_collected: dict = {}
+
+
+def _rng_data():
+    rng = np.random.RandomState(12345)
+    a = rng.rand(N, DIM) * 8.0
+    b = rng.rand(M, DIM) * 8.0
+    return a, b
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def _run_backend(backend: str):
+    a, b = _rng_data()
+    ids = list(range(M))
+    rows = {}
+    counts, t = _timed(lambda: kernels.ball_counts(a, b, SQ_RADIUS))
+    rows["ball_counts"] = (N * M / t, int(counts.sum()))
+    hit, t = _timed(lambda: kernels.any_within(a, b, 1e-9))
+    rows["any_within(miss)"] = (N * M / t, int(hit))
+    sub = a[: min(N, 2000)]
+    dm, t = _timed(lambda: kernels.distance_matrix(sub, b))
+    rows["distance_matrix"] = (len(sub) * M / t, float(dm[0, 0]))
+    total, t = _timed(
+        lambda: sum(kernels.count_within(a[i], b, SQ_RADIUS) for i in range(200))
+    )
+    rows["count_within"] = (200 * M / t, int(total))
+    proofs, t = _timed(lambda: kernels.find_within_many(sub, ids, b, SQ_RADIUS))
+    rows["find_within_many"] = (
+        len(sub) * M / t,
+        sum(p is not None for p in proofs),
+    )
+    buckets, t = _timed(lambda: kernels.bucket_by_cell(a, 0.5))
+    rows["bucket_by_cell"] = (N / t, len(buckets))
+    cells = np.floor(a / 0.5).astype(np.int64)
+    keys, t = _timed(lambda: kernels.pack_cell_keys(cells))
+    rows["pack_cell_keys"] = (N / t, int(keys.max()))
+    return rows
+
+
+def test_kernel_throughput_both_backends():
+    previous = kernels.active_backend().requested
+    try:
+        for backend in BACKENDS:
+            kernels.use_backend(backend)
+            info = (
+                f"{kernels.backend_summary()}; "
+                f"{kernels.active_backend().description}"
+            )
+            _collected[backend] = (info, _run_backend(backend))
+    finally:
+        kernels.use_backend(previous)
+    # Checksums must agree across backends: same data, same decisions.
+    numpy_rows, accel_rows = _collected["numpy"][1], _collected["accel"][1]
+    for name in numpy_rows:
+        # distance_matrix included: bit-identity across backends is the
+        # interface contract, so the float checksums compare equal too.
+        assert numpy_rows[name][1] == accel_rows[name][1], name
+        assert numpy_rows[name][0] > 0
+
+
+def test_zz_write_results():
+    """Runs last (name-ordered): dump the collected throughput table."""
+    assert _collected, "no measurements collected"
+    info_lines = ["backend\tresolution"]
+    table_lines = ["kernel\tbackend\tthroughput_per_s\tchecksum"]
+    for backend in BACKENDS:
+        summary, rows = _collected[backend]
+        info_lines.append(f"{backend}\t{summary}")
+        for name, (throughput, checksum) in rows.items():
+            table_lines.append(f"{name}\t{backend}\t{throughput:,.0f}\t{checksum}")
+    write_results(
+        "kernel_microbench.txt",
+        f"Kernel-layer throughput: n={N}, m={M}, d={DIM} "
+        f"(pair kernels: pairs/s; grouping kernels: rows/s)",
+        [info_lines, table_lines],
+    )

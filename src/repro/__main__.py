@@ -15,11 +15,12 @@ import statistics
 import sys
 from typing import List
 
+from repro import kernels
 from repro.baselines.incdbscan import IncDBSCAN
 from repro.baselines.naive_dynamic import RecomputeClusterer
 from repro.core.fullydynamic import FullyDynamicClusterer
 from repro.core.semidynamic import SemiDynamicClusterer
-from repro.workload.config import MINPTS, RHO, eps_for
+from repro.workload.config import MINPTS, RHO, backend_name, eps_for
 from repro.workload.runner import run_workload, run_workload_batched
 from repro.workload.seed_spreader import seed_spreader
 from repro.workload.workload import generate_workload
@@ -65,6 +66,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    kernels.use_backend(args.backend)
     eps = args.eps if args.eps is not None else eps_for(args.dim, args.eps_per_d)
     insert_fraction = 1.0 if args.semi else args.insert_fraction
     workload = generate_workload(
@@ -82,7 +84,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(
         f"workload: N={args.n} (%ins={insert_fraction:.3f}), d={args.dim}, "
         f"eps={eps:g}, MinPts={args.minpts}, rho={args.rho}, "
-        f"{workload.query_count} queries{batch_note}"
+        f"{workload.query_count} queries{batch_note}, "
+        f"backend={kernels.backend_summary()}"
     )
     for name in args.algorithms:
         if name.startswith("semi") and insert_fraction < 1.0:
@@ -180,6 +183,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="drive the bulk-update engine: coalesce update runs into "
         "insert_many/delete_many calls of at most this many points",
+    )
+    bench.add_argument(
+        "--backend",
+        choices=kernels.available_backends(),
+        default=backend_name(),
+        help="compute-kernel backend (default: REPRO_BACKEND or 'auto'; "
+        "'auto' picks the accelerated backend, falling back per kernel "
+        "to the numpy reference)",
     )
     bench.add_argument(
         "algorithms",

@@ -1,20 +1,20 @@
-"""Vectorized building blocks for the bulk-update engine.
+"""Bulk-update surface shared by every clusterer (sequential fallbacks).
 
-``insert_many`` / ``delete_many`` process a whole batch of updates in one
-pass: the batch is bucketed into grid cells with a single vectorized
-``floor(points / side)``, and ball counts / vicinity bumps are computed
-with numpy distance matrices per cell-neighborhood instead of per-point
-``sq_dist`` loops.  The helpers here are shared by
-:class:`repro.core.semidynamic.SemiDynamicClusterer` and
-:class:`repro.core.fullydynamic.FullyDynamicClusterer`; clusterers without
-a vectorized path fall back to :class:`SequentialBulkMixin`, which keeps
-every clusterer compatible with ``run_workload_batched``.
+The numeric primitives that used to live here (cell bucketing, ball
+counts, witness searches, box pruning) are now owned by the pluggable
+kernel layer — see :mod:`repro.kernels` for the backend registry and
+:mod:`repro.kernels.numpy_backend` for the reference implementations.
+This module keeps the batch *API* glue: the sequential fallback mixins
+that give every clusterer (baselines included) the ``insert_many`` /
+``delete_many`` / ``cgroup_by_many`` surface the batched workload
+runner drives, plus backward-compatible re-exports of the kernel
+dispatchers under their historical names.
 
-Equivalence contract: the batch paths replay promotions (and demotions)
-in a deterministic order — cells in lexicographic order, point ids
-ascending — and decide core status from the *final* ball counts, which
-for monotone update streams (insert-only, or delete-only between
-queries) equals the state sequential processing reaches.  With
+Equivalence contract (maintained by the clusterers' vectorized paths):
+batch updates replay promotions (and demotions) in a deterministic
+order — cells in lexicographic order, point ids ascending — and decide
+core status from the *final* ball counts, which for monotone update
+streams equals the state sequential processing reaches.  With
 ``rho = 0`` the output clustering is identical to the sequential path;
 with ``rho > 0`` both are legal under the sandwich guarantee
 (:mod:`repro.validation.sandwich`).
@@ -24,171 +24,29 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple
 
-import numpy as np
+# Historical home of these primitives — re-exported so existing callers
+# (and external code) keep working; they dispatch into the active
+# backend like every other kernel call.
+from repro.kernels import (  # noqa: F401
+    any_within,
+    as_point_array,
+    ball_counts,
+    box_sq_dists,
+    bucket_by_cell,
+)
 
 Cell = Tuple[int, ...]
 
-#: Cap on the number of entries materialized per distance-matrix chunk.
-_CHUNK_ENTRIES = 4_000_000
-
-
-def as_point_array(points: Sequence[Sequence[float]], dim: int) -> np.ndarray:
-    """Validate a batch of points and return it as an ``(n, dim)`` array."""
-    try:
-        arr = np.asarray(points, dtype=float)
-    except (TypeError, ValueError) as exc:
-        raise ValueError(f"batch is not a rectangular array of floats: {exc}") from exc
-    if arr.size == 0:
-        return np.empty((0, dim), dtype=float)
-    if arr.ndim != 2 or arr.shape[1] != dim:
-        raise ValueError(
-            f"batch has shape {arr.shape}, expected (n, {dim})"
-        )
-    if not np.isfinite(arr).all():
-        raise ValueError("batch contains non-finite coordinates (nan/inf)")
-    return arr
-
-
-def bucket_by_cell(arr: np.ndarray, side: float) -> List[Tuple[Cell, np.ndarray]]:
-    """Group batch indices by grid cell via vectorized flooring.
-
-    Returns ``(cell, indices)`` pairs with cells in lexicographic order
-    (the deterministic replay order) and indices ascending within each
-    cell.  The flooring matches :meth:`repro.core.grid.Grid.cell_of`
-    exactly, including on negative coordinates.
-
-    Whenever the batch's cell bounding box fits in an int64 (always, in
-    practice), cell coordinates are packed into one row-major scalar key
-    so the grouping sort runs on a flat int64 array — several times
-    faster than a row-wise ``unique``, with an identical ordering (the
-    packing is monotone in the lexicographic cell order).
-    """
-    if len(arr) == 0:
-        return []
-    cells = np.floor(arr / side).astype(np.int64)
-    lo = cells.min(axis=0)
-    # Span and its product are computed in Python ints: an int64 subtraction
-    # could wrap on astronomically spread coordinates and defeat the very
-    # overflow guard below.
-    span_py = [
-        int(hi_c) - int(lo_c) + 1
-        for lo_c, hi_c in zip(lo.tolist(), cells.max(axis=0).tolist())
-    ]
-    prod = 1
-    for s in span_py:
-        prod *= s
-    if prod < 2**62:
-        span = np.asarray(span_py, dtype=np.int64)
-        strides = np.ones(len(span), dtype=np.int64)
-        for i in range(len(span) - 2, -1, -1):
-            strides[i] = strides[i + 1] * span[i + 1]
-        keys = ((cells - lo) * strides).sum(axis=1)
-        order = np.argsort(keys, kind="stable")
-        sorted_keys = keys[order]
-        boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
-    else:  # astronomically spread coordinates: row-wise fallback
-        unique_rows, inverse = np.unique(cells, axis=0, return_inverse=True)
-        inverse = inverse.ravel()
-        order = np.argsort(inverse, kind="stable")
-        sorted_keys = inverse[order]
-        boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
-    splits = np.split(order, boundaries)
-    return [
-        (tuple(int(c) for c in cells[s[0]]), s)
-        for s in splits
-    ]
-
-
-#: Relative slack of the fast BLAS distance identity.  The identity
-#: ``|x - y|^2 = |x|^2 + |y|^2 - 2 x.y`` suffers cancellation of order
-#: ``u * (|x|^2 + |y|^2)`` (u = 2^-52); pairs whose fast distance lands
-#: within this slack of the threshold are re-verified with the exact
-#: difference formula, so the decisions below are bit-identical to
-#: ``sq_dist`` comparisons.
-_BAND = 1e-9
-
-
-def _fast_sq_dists(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Approximate squared distances via BLAS plus the per-pair slack."""
-    a2 = np.einsum("ij,ij->i", a, a)
-    b2 = np.einsum("ij,ij->i", b, b)
-    scale = a2[:, None] + b2[None, :]
-    d2 = scale - 2.0 * (a @ b.T)
-    return d2, _BAND * (scale + 1.0)
-
-
-def _exact_within(point: np.ndarray, others: np.ndarray, sq_radius: float) -> np.ndarray:
-    """Exact membership recheck of one point against candidate rows."""
-    diff = point[None, :] - others
-    return np.einsum("ij,ij->i", diff, diff) <= sq_radius
-
-
-def ball_counts(a: np.ndarray, b: np.ndarray, sq_radius: float) -> np.ndarray:
-    """For each row of ``a``, how many rows of ``b`` lie within the ball.
-
-    Uses the BLAS identity for speed and re-verifies pairs inside the
-    cancellation band exactly, so counts equal brute-force ``sq_dist``
-    comparisons bit-for-bit.  Chunked so no intermediate matrix exceeds
-    ``_CHUNK_ENTRIES`` entries.
-    """
-    n = len(a)
-    counts = np.zeros(n, dtype=np.int64)
-    if n == 0 or len(b) == 0:
-        return counts
-    chunk = max(1, _CHUNK_ENTRIES // len(b))
-    for start in range(0, n, chunk):
-        block = a[start : start + chunk]
-        d2, tol = _fast_sq_dists(block, b)
-        counts[start : start + chunk] = (d2 < sq_radius - tol).sum(axis=1)
-        border = np.abs(d2 - sq_radius) <= tol
-        for row in np.nonzero(border.any(axis=1))[0].tolist():
-            candidates = b[border[row]]
-            counts[start + row] += int(
-                _exact_within(block[row], candidates, sq_radius).sum()
-            )
-    return counts
-
-
-def box_sq_dists(pts: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
-    """Squared distance from each row to an axis-parallel box.
-
-    Vectorized :func:`repro.geometry.points.box_min_sq_dist` — a lower
-    bound on the distance to any point inside the box, used to prune
-    rows that can never witness a ball predicate against that box.
-    """
-    d = np.maximum(np.maximum(lo - pts, pts - hi), 0.0)
-    return np.einsum("ij,ij->i", d, d)
-
-
-def _any_within_block(block: np.ndarray, b: np.ndarray, sq_radius: float) -> bool:
-    d2, tol = _fast_sq_dists(block, b)
-    if (d2 < sq_radius - tol).any():
-        return True
-    border = np.abs(d2 - sq_radius) <= tol
-    for row in np.nonzero(border.any(axis=1))[0].tolist():
-        if _exact_within(block[row], b[border[row]], sq_radius).any():
-            return True
-    return False
-
-
-def any_within(a: np.ndarray, b: np.ndarray, sq_radius: float) -> bool:
-    """Whether any pair ``(a[i], b[j])`` lies within the ball.
-
-    Same exactness guarantee (and chunking) as :func:`ball_counts`.  A
-    small probe block runs first: in dense regimes adjacent cells almost
-    always hold a witness among the first few rows, so the common case
-    never materializes the full matrix.
-    """
-    if len(a) == 0 or len(b) == 0:
-        return False
-    probe = min(32, len(a))
-    if _any_within_block(a[:probe], b, sq_radius):
-        return True
-    chunk = max(1, _CHUNK_ENTRIES // len(b))
-    for start in range(probe, len(a), chunk):
-        if _any_within_block(a[start : start + chunk], b, sq_radius):
-            return True
-    return False
+__all__ = [
+    "Cell",
+    "any_within",
+    "as_point_array",
+    "ball_counts",
+    "box_sq_dists",
+    "bucket_by_cell",
+    "SequentialBulkMixin",
+    "SequentialQueryMixin",
+]
 
 
 class SequentialBulkMixin:

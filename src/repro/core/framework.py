@@ -17,7 +17,8 @@ from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.bulk import SequentialBulkMixin, as_point_array, bucket_by_cell
+from repro.core.bulk import SequentialBulkMixin
+from repro.kernels import as_point_array, bucket_by_cell
 from repro.core.grid import Cell, Grid
 from repro.geometry.points import Point, sq_dist
 

@@ -31,8 +31,8 @@ import numpy as np
 from repro.connectivity.hdt import HDTConnectivity
 from repro.connectivity.naive import NaiveConnectivity
 from repro.core.abcp import ABCPInstance, RescanBCP, SuffixABCP, SIDE_A, SIDE_B
-from repro.core.bulk import ball_counts, bucket_by_cell
 from repro.core.framework import GridClusterer
+from repro.kernels import ball_counts, bucket_by_cell
 from repro.core.grid import Cell
 from repro.geometry.emptiness import EmptinessStructure
 from repro.geometry.points import Point

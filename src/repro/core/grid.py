@@ -23,6 +23,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels import cell_gap_sq_dists
+
 Cell = Tuple[int, ...]
 
 _STRATEGIES = ("auto", "offsets", "scan")
@@ -83,9 +85,7 @@ class Grid:
         axis = np.arange(-reach, reach + 1)
         grids = np.meshgrid(*([axis] * self.dim), indexing="ij")
         deltas = np.stack([g.ravel() for g in grids], axis=1)
-        gaps = np.maximum(np.abs(deltas) - 1, 0) * self.side
-        sq = (gaps * gaps).sum(axis=1)
-        mask = sq <= self._sq_threshold
+        mask = cell_gap_sq_dists(deltas, self.side) <= self._sq_threshold
         mask &= np.any(deltas != 0, axis=1)
         return [tuple(int(x) for x in row) for row in deltas[mask]]
 

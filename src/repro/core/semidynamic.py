@@ -29,8 +29,8 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
 import numpy as np
 
 from repro.connectivity.union_find import UnionFind
-from repro.core.bulk import any_within, ball_counts, box_sq_dists, bucket_by_cell
 from repro.core.framework import GridClusterer
+from repro.kernels import any_within, ball_counts, box_sq_dists, bucket_by_cell
 from repro.core.grid import Cell
 from repro.geometry.emptiness import EmptinessStructure
 from repro.geometry.points import Point, sq_dist

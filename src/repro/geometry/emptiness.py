@@ -32,7 +32,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.geometry.kdtree import DeferredKDTree, proofs_within
+from repro import kernels
+from repro.geometry.kdtree import DeferredKDTree
 
 #: At or below this many stored points ``empty_many`` answers with one
 #: distance matrix instead of the kd-tree (grid cells are usually small,
@@ -66,11 +67,30 @@ class EmptinessStructure(DeferredKDTree):
         Every answer honours the scalar ``empty`` contract; with
         ``rho = 0`` both radii coincide and every structure is exact, so
         the has-proof answers equal per-point ``empty`` calls exactly.
+
+        The query batch is validated up front: ragged/object arrays and
+        wrong trailing dimensions raise a clear ``ValueError`` here
+        instead of a numpy broadcast error deep inside a kernel.  A
+        float64 ``(n, dim)`` array is already proof of its own
+        dtype/shape and passes straight through — the batched query
+        engine calls this per close core cell with arrays it built
+        itself, and re-scanning them each time would tax the hot path.
         """
-        qs = np.asarray(qs, dtype=float)
+        if (
+            isinstance(qs, np.ndarray)
+            and qs.dtype == np.float64
+            and qs.ndim == 2
+            and qs.shape[1] == self.dim
+        ):
+            pass  # hot path: dtype/shape are exactly what the kernels need
+        else:
+            try:
+                qs = kernels.as_point_array(qs, self.dim)
+            except ValueError as exc:
+                raise ValueError(f"empty_many query {exc}") from None
         if len(qs) == 0:
             return []
         if len(self) <= _MATRIX_CUTOFF:
             ids, pts = self._items_snapshot()
-            return proofs_within(qs, ids, pts, self._sq_relaxed)
+            return kernels.find_within_many(qs, ids, pts, self._sq_relaxed)
         return self.find_within_many(qs, self._sq_eps, self._sq_relaxed)

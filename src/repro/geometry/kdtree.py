@@ -39,6 +39,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.geometry.points import Point
 
 _LEAF_CAP = 8
@@ -47,36 +48,55 @@ _LEAF_CAP = 8
 #: list-based builder (numpy per-node overhead dominates small arrays).
 _BULK_CUTOFF = 512
 
-#: Cap on the number of entries materialized per distance-matrix chunk
-#: in the batched query helpers.
-_CHUNK_ENTRIES = 2_000_000
 
-
-def proofs_within(
-    qs: np.ndarray,
-    ids: Sequence[int],
-    pts: np.ndarray,
-    sq_radius: float,
+def batched_find_within(
+    tree: "DynamicKDTree", qs: np.ndarray, sq_eps: float, sq_relaxed: float
 ) -> List[Optional[int]]:
-    """For each query row, some id of ``pts`` within the ball, else ``None``.
+    """The one batched approximate-emptiness traversal (shared).
 
-    Distances use the exact difference formula (the vectorized twin of
-    ``sq_dist``, summing coordinates in the same order), so membership
-    decisions are bit-identical to scalar comparisons.  Proofs are the
-    lowest-index match, which makes the output deterministic.  Chunked so
-    no intermediate array exceeds ``_CHUNK_ENTRIES`` entries.
+    Both ``find_within_many`` surfaces (:class:`DynamicKDTree` and the
+    write-behind :class:`DeferredKDTree`) resolve through this single
+    traversal: one pass carries every still-unresolved query down the
+    tree, box lower bounds of all active queries come from the
+    ``box_sq_dists`` kernel and queries farther than ``sq_eps`` drop out
+    (the scalar pruning rule); at each leaf the ``find_within_many``
+    kernel resolves every active query with a bucket point within
+    ``sq_relaxed``.  The same thresholds as the scalar search mean the
+    has-proof answer matches :meth:`DynamicKDTree.find_within` exactly.
     """
-    out: List[Optional[int]] = [None] * len(qs)
-    if len(qs) == 0 or len(ids) == 0:
+    n = len(qs)
+    out: List[Optional[int]] = [None] * n
+    if n == 0 or not tree._points:
         return out
-    per_row = len(ids) * qs.shape[1]
-    chunk = max(1, _CHUNK_ENTRIES // per_row)
-    for start in range(0, len(qs), chunk):
-        block = qs[start : start + chunk]
-        diff = block[:, None, :] - pts[None, :, :]
-        hit = np.einsum("ijk,ijk->ij", diff, diff) <= sq_radius
-        for row in np.nonzero(hit.any(axis=1))[0].tolist():
-            out[start + row] = ids[int(np.argmax(hit[row]))]
+    resolved = np.zeros(n, dtype=bool)
+    stack: List[Tuple[_Node, np.ndarray]] = [(tree._root, np.arange(n))]
+    while stack:
+        node, active = stack.pop()
+        active = active[~resolved[active]]
+        if node.size == 0 or len(active) == 0:
+            continue
+        q = qs[active]
+        lo = np.asarray(node.lo)
+        hi = np.asarray(node.hi)
+        active = active[kernels.box_sq_dists(q, lo, hi) <= sq_eps]
+        if len(active) == 0:
+            continue
+        if node.is_leaf():
+            assert node.bucket is not None
+            if not node.bucket:
+                continue
+            pids = list(node.bucket.keys())
+            pts = np.array(list(node.bucket.values()), dtype=float)
+            proofs = kernels.find_within_many(qs[active], pids, pts, sq_relaxed)
+            for row, proof in enumerate(proofs):
+                if proof is not None:
+                    gi = int(active[row])
+                    out[gi] = proof
+                    resolved[gi] = True
+        else:
+            assert node.left is not None and node.right is not None
+            stack.append((node.left, active))
+            stack.append((node.right, active))
     return out
 
 
@@ -384,49 +404,11 @@ class DynamicKDTree:
     ) -> List[Optional[int]]:
         """Batched approximate emptiness search over an ``(n, dim)`` array.
 
-        One traversal carries every still-unresolved query down the tree:
-        at each node the box lower bounds of all active queries are
-        computed in one vectorized pass and queries farther than
-        ``sq_eps`` drop out (the scalar pruning rule); at each leaf one
-        exact distance matrix resolves every active query with a bucket
-        point within ``sq_relaxed``.  The same thresholds as the scalar
-        search mean the has-proof answer matches ``find_within`` exactly.
+        Resolves through the shared :func:`batched_find_within`
+        traversal (kernel-backed box pruning and leaf proof search);
+        the has-proof answer matches ``find_within`` exactly.
         """
-        n = len(qs)
-        out: List[Optional[int]] = [None] * n
-        if n == 0 or not self._points:
-            return out
-        resolved = np.zeros(n, dtype=bool)
-        stack: List[Tuple[_Node, np.ndarray]] = [(self._root, np.arange(n))]
-        while stack:
-            node, active = stack.pop()
-            active = active[~resolved[active]]
-            if node.size == 0 or len(active) == 0:
-                continue
-            q = qs[active]
-            lo = np.asarray(node.lo)
-            hi = np.asarray(node.hi)
-            gap = np.maximum(np.maximum(lo - q, q - hi), 0.0)
-            active = active[np.einsum("ij,ij->i", gap, gap) <= sq_eps]
-            if len(active) == 0:
-                continue
-            if node.is_leaf():
-                assert node.bucket is not None
-                if not node.bucket:
-                    continue
-                pids = list(node.bucket.keys())
-                pts = np.array(list(node.bucket.values()), dtype=float)
-                proofs = proofs_within(qs[active], pids, pts, sq_relaxed)
-                for row, proof in enumerate(proofs):
-                    if proof is not None:
-                        gi = int(active[row])
-                        out[gi] = proof
-                        resolved[gi] = True
-            else:
-                assert node.left is not None and node.right is not None
-                stack.append((node.left, active))
-                stack.append((node.right, active))
-        return out
+        return batched_find_within(self, qs, sq_eps, sq_relaxed)
 
     def count_fuzzy(
         self,
@@ -544,9 +526,13 @@ class DeferredKDTree:
     def find_within_many(
         self, qs: np.ndarray, sq_eps: float, sq_relaxed: float
     ) -> List[Optional[int]]:
-        """Batched emptiness search (folds the buffer in first)."""
+        """Batched emptiness search (folds the buffer in first).
+
+        Same shared :func:`batched_find_within` traversal as the eager
+        tree — the only difference is the up-front buffer fold.
+        """
         self._flush()
-        return self._tree.find_within_many(qs, sq_eps, sq_relaxed)
+        return batched_find_within(self._tree, qs, sq_eps, sq_relaxed)
 
     def insert(self, pid: int, point: Point) -> None:
         self._flush()

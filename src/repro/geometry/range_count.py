@@ -25,7 +25,14 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro import kernels
 from repro.geometry.kdtree import DeferredKDTree
+
+#: At or below this many stored points (with the write-behind buffer
+#: non-empty) ``count`` answers with one exact kernel pass instead of
+#: flushing the buffer into the kd-tree — the counting twin of the
+#: emptiness structure's matrix path.
+_MATRIX_CUTOFF = 128
 
 
 class ApproximateRangeCounter(DeferredKDTree):
@@ -49,6 +56,15 @@ class ApproximateRangeCounter(DeferredKDTree):
         The result ``k`` satisfies ``|B(q,eps)| <= k <= |B(q,(1+rho)eps)|``
         restricted to this cell's points.  With ``stop_at`` the count may
         saturate early once it reaches that value.
+
+        Small structures with buffered bulk insertions answer with one
+        exact ``count_within`` kernel pass at radius ``eps`` — a legal
+        instantiation of the contract (``k = |B(q, eps)|``) that never
+        forces the write-behind buffer to be indexed; with ``rho = 0``
+        it equals the fuzzy tree count exactly.
         """
+        if self._pending and len(self) <= _MATRIX_CUTOFF:
+            _ids, pts = self._items_snapshot()
+            return kernels.count_within(q, pts, self._sq_eps)
         self._flush()
         return self._tree.count_fuzzy(q, self._sq_eps, self._sq_relaxed, stop_at)

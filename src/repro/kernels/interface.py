@@ -1,0 +1,120 @@
+"""The kernel interface: names, contracts, and shared tuning knobs.
+
+A *kernel* is one of the hot numeric primitives every clusterer, index
+and query engine in the repo bottoms out in.  Each kernel has a fixed
+array-level signature and an exactness contract (below); a *backend* is
+a named set of implementations of some or all kernels
+(:class:`Backend`).  The registry (:mod:`repro.kernels.registry`)
+resolves the active backend into a per-kernel dispatch table, falling
+back kernel-by-kernel to the numpy reference backend for anything a
+backend does not provide.
+
+Kernel contracts
+----------------
+
+``distance_matrix(a, b) -> (n, m) float64``
+    Exact squared Euclidean distances via the difference formula —
+    bit-identical across backends (every backend evaluates the same
+    axis-ordered vectorized sum per element).
+
+``ball_counts(a, b, sq_radius) -> (n,) int64``
+    For each row of ``a``, how many rows of ``b`` lie within the ball.
+    Backends may use fast approximate identities internally (e.g. the
+    BLAS expansion) but every membership *decision* must equal the exact
+    difference formula bit-for-bit.
+
+``any_within(a, b, sq_radius) -> bool``
+    Whether any pair ``(a[i], b[j])`` lies within the ball.  Same
+    exactness guarantee as ``ball_counts``.
+
+``count_within(q, pts, sq_radius) -> int``
+    Scalar-query form: how many rows of ``pts`` lie within the ball
+    around the single point ``q``.  Exact.
+
+``find_within_many(qs, ids, pts, sq_radius) -> list[Optional[int]]``
+    For each query row, ``ids[j]`` of some row ``pts[j]`` within the
+    ball, else ``None``.  Proofs are the lowest-index match
+    (deterministic across backends); membership decisions are exact.
+
+``bucket_by_cell(arr, side) -> list[(cell, indices)]``
+    Group point rows by grid cell via vectorized flooring, cells in
+    lexicographic order, indices ascending within each cell.
+
+``pack_cell_keys(cells) -> Optional[(n,) int64]``
+    Row-major monotone packing of integer cell rows into flat scalar
+    keys (``None`` when the bounding-box span would overflow int64).
+
+``box_sq_dists(pts, lo, hi) -> (n,) float64``
+    Squared distance from each row to an axis-parallel box (zero
+    inside).
+
+``cell_gap_sq_dists(deltas, side) -> (n,) float64``
+    Squared boundary-to-boundary distance of grid cells offset by the
+    integer rows ``deltas`` from a reference cell, for cells of the
+    given side.
+
+Memory cap
+----------
+
+``MAX_BLOCK_BYTES`` caps the largest intermediate array any kernel may
+materialize (distance-matrix chunks, difference tensors): ~64MB by
+default, so a 50k x 50k neighborhood never allocation-spikes.  Backends
+must consult :func:`max_block_entries` *at call time* so tests (and
+operators) can shrink it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+Cell = Tuple[int, ...]
+
+#: Every kernel the dispatch layer exposes, in a stable order.
+KERNEL_NAMES = (
+    "distance_matrix",
+    "ball_counts",
+    "any_within",
+    "count_within",
+    "find_within_many",
+    "bucket_by_cell",
+    "pack_cell_keys",
+    "box_sq_dists",
+    "cell_gap_sq_dists",
+)
+
+#: Cap on the bytes of any single intermediate array a kernel
+#: materializes (float64 entries).  Patchable; read at call time.
+MAX_BLOCK_BYTES = 64 * 1024 * 1024
+
+
+def max_block_entries() -> int:
+    """Largest float64 entry count a kernel block may materialize."""
+    return max(1, MAX_BLOCK_BYTES // 8)
+
+
+@dataclass
+class Backend:
+    """A named set of kernel implementations.
+
+    ``kernels`` maps kernel names (a subset of :data:`KERNEL_NAMES`) to
+    callables with the documented signatures; anything missing falls
+    back to the reference backend per kernel.  ``description`` is a
+    short human-readable note on how the backend accelerates (shown in
+    CLI/benchmark reports).
+    """
+
+    name: str
+    kernels: Dict[str, Callable] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        unknown = set(self.kernels) - set(KERNEL_NAMES)
+        if unknown:
+            raise ValueError(
+                f"backend {self.name!r} implements unknown kernel(s) "
+                f"{sorted(unknown)}; valid names: {KERNEL_NAMES}"
+            )
+
+    def provides(self, kernel: str) -> bool:
+        return kernel in self.kernels

@@ -1,0 +1,256 @@
+"""The numpy reference backend — the semantics every backend must match.
+
+These are the battle-tested implementations extracted verbatim from the
+bulk-update engine (``repro.core.bulk``) and the kd-tree batched query
+helpers (``repro.geometry.kdtree``), now owned by the kernels layer.
+Every other backend is validated against this one bit-for-bit
+(``tests/test_kernels.py``).
+
+Exactness: ``ball_counts`` / ``any_within`` use the BLAS identity
+``|x - y|^2 = |x|^2 + |y|^2 - 2 x.y`` for speed and re-verify pairs in
+the cancellation band with the exact difference formula, so membership
+decisions equal scalar ``sq_dist`` comparisons bit-for-bit.
+``distance_matrix`` / ``count_within`` / ``find_within_many`` use the
+exact formula throughout.  All kernels chunk their intermediates to at
+most :func:`repro.kernels.interface.max_block_entries` float64 entries
+(~64MB), so huge neighborhoods never allocation-spike.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels import interface
+from repro.kernels.interface import Backend, Cell
+
+#: Relative slack of the fast BLAS distance identity.  The identity
+#: ``|x - y|^2 = |x|^2 + |y|^2 - 2 x.y`` suffers cancellation of order
+#: ``u * (|x|^2 + |y|^2)`` (u = 2^-52); pairs whose fast distance lands
+#: within this slack of the threshold are re-verified with the exact
+#: difference formula, so the decisions below are bit-identical to
+#: ``sq_dist`` comparisons.
+BAND = 1e-9
+
+
+def fast_sq_dists(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Approximate squared distances via BLAS plus the per-pair slack."""
+    a2 = np.einsum("ij,ij->i", a, a)
+    b2 = np.einsum("ij,ij->i", b, b)
+    scale = a2[:, None] + b2[None, :]
+    d2 = scale - 2.0 * (a @ b.T)
+    return d2, BAND * (scale + 1.0)
+
+
+def exact_within(point: np.ndarray, others: np.ndarray, sq_radius: float) -> np.ndarray:
+    """Exact membership recheck of one point against candidate rows."""
+    diff = point[None, :] - others
+    return np.einsum("ij,ij->i", diff, diff) <= sq_radius
+
+
+def distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact squared distances between every row pair (see interface).
+
+    The returned ``(n, m)`` matrix is the caller's memory to budget; the
+    chunking below caps the *intermediate* difference tensor, which is
+    ``dim`` times larger than its slice of the output.
+    """
+    n, m = len(a), len(b)
+    out = np.empty((n, m), dtype=float)
+    if n == 0 or m == 0:
+        return out
+    per_row = m * a.shape[1]
+    chunk = max(1, interface.max_block_entries() // per_row)
+    for start in range(0, n, chunk):
+        diff = a[start : start + chunk, None, :] - b[None, :, :]
+        out[start : start + chunk] = np.einsum("ijk,ijk->ij", diff, diff)
+    return out
+
+
+def ball_counts(a: np.ndarray, b: np.ndarray, sq_radius: float) -> np.ndarray:
+    """For each row of ``a``, how many rows of ``b`` lie within the ball."""
+    n = len(a)
+    counts = np.zeros(n, dtype=np.int64)
+    if n == 0 or len(b) == 0:
+        return counts
+    chunk = max(1, interface.max_block_entries() // len(b))
+    for start in range(0, n, chunk):
+        block = a[start : start + chunk]
+        d2, tol = fast_sq_dists(block, b)
+        counts[start : start + chunk] = (d2 < sq_radius - tol).sum(axis=1)
+        border = np.abs(d2 - sq_radius) <= tol
+        for row in np.nonzero(border.any(axis=1))[0].tolist():
+            candidates = b[border[row]]
+            counts[start + row] += int(
+                exact_within(block[row], candidates, sq_radius).sum()
+            )
+    return counts
+
+
+def any_within_block(block: np.ndarray, b: np.ndarray, sq_radius: float) -> bool:
+    """One chunk of :func:`any_within` (shared with the accel backend)."""
+    d2, tol = fast_sq_dists(block, b)
+    if (d2 < sq_radius - tol).any():
+        return True
+    border = np.abs(d2 - sq_radius) <= tol
+    for row in np.nonzero(border.any(axis=1))[0].tolist():
+        if exact_within(block[row], b[border[row]], sq_radius).any():
+            return True
+    return False
+
+
+def any_within(a: np.ndarray, b: np.ndarray, sq_radius: float) -> bool:
+    """Whether any pair ``(a[i], b[j])`` lies within the ball.
+
+    Same exactness guarantee (and chunking) as :func:`ball_counts`.  A
+    small probe block runs first: in dense regimes adjacent cells almost
+    always hold a witness among the first few rows, so the common case
+    never materializes the full matrix.
+    """
+    if len(a) == 0 or len(b) == 0:
+        return False
+    probe = min(32, len(a))
+    if any_within_block(a[:probe], b, sq_radius):
+        return True
+    chunk = max(1, interface.max_block_entries() // len(b))
+    for start in range(probe, len(a), chunk):
+        if any_within_block(a[start : start + chunk], b, sq_radius):
+            return True
+    return False
+
+
+def count_within(q: Sequence[float], pts: np.ndarray, sq_radius: float) -> int:
+    """How many rows of ``pts`` lie within the ball around ``q`` (exact)."""
+    if len(pts) == 0:
+        return 0
+    q_arr = np.asarray(q, dtype=float)
+    chunk = max(1, interface.max_block_entries() // max(1, pts.shape[1]))
+    total = 0
+    for start in range(0, len(pts), chunk):
+        diff = pts[start : start + chunk] - q_arr[None, :]
+        total += int((np.einsum("ij,ij->i", diff, diff) <= sq_radius).sum())
+    return total
+
+
+def find_within_many(
+    qs: np.ndarray,
+    ids: Sequence[int],
+    pts: np.ndarray,
+    sq_radius: float,
+) -> List[Optional[int]]:
+    """For each query row, some id of ``pts`` within the ball, else ``None``.
+
+    Distances use the exact difference formula (the vectorized twin of
+    ``sq_dist``, summing coordinates in the same order), so membership
+    decisions are bit-identical to scalar comparisons.  Proofs are the
+    lowest-index match, which makes the output deterministic.
+    """
+    out: List[Optional[int]] = [None] * len(qs)
+    if len(qs) == 0 or len(ids) == 0:
+        return out
+    per_row = len(ids) * qs.shape[1]
+    chunk = max(1, interface.max_block_entries() // per_row)
+    for start in range(0, len(qs), chunk):
+        block = qs[start : start + chunk]
+        diff = block[:, None, :] - pts[None, :, :]
+        hit = np.einsum("ijk,ijk->ij", diff, diff) <= sq_radius
+        for row in np.nonzero(hit.any(axis=1))[0].tolist():
+            out[start + row] = ids[int(np.argmax(hit[row]))]
+    return out
+
+
+def pack_cell_keys(cells: np.ndarray) -> Optional[np.ndarray]:
+    """Row-major monotone packing of int64 cell rows into scalar keys.
+
+    Returns ``None`` when the bounding-box span product would not fit in
+    an int64 (astronomically spread coordinates) — callers must then
+    fall back to row-wise grouping.  The packing is monotone in the
+    lexicographic cell order, which is what lets grouping sorts run on a
+    flat int64 array.
+    """
+    lo = cells.min(axis=0)
+    # Span and its product are computed in Python ints: an int64
+    # subtraction could wrap on astronomically spread coordinates and
+    # defeat the very overflow guard below.
+    span_py = [
+        int(hi_c) - int(lo_c) + 1
+        for lo_c, hi_c in zip(lo.tolist(), cells.max(axis=0).tolist())
+    ]
+    prod = 1
+    for s in span_py:
+        prod *= s
+    if prod >= 2**62:
+        return None
+    span = np.asarray(span_py, dtype=np.int64)
+    strides = np.ones(len(span), dtype=np.int64)
+    for i in range(len(span) - 2, -1, -1):
+        strides[i] = strides[i + 1] * span[i + 1]
+    return ((cells - lo) * strides).sum(axis=1)
+
+
+def bucket_by_cell(arr: np.ndarray, side: float) -> List[Tuple[Cell, np.ndarray]]:
+    """Group batch indices by grid cell via vectorized flooring.
+
+    Returns ``(cell, indices)`` pairs with cells in lexicographic order
+    (the deterministic replay order) and indices ascending within each
+    cell.  The flooring matches :meth:`repro.core.grid.Grid.cell_of`
+    exactly, including on negative coordinates.  Key packing routes
+    through the dispatched ``pack_cell_keys`` kernel so an accelerated
+    packing benefits this kernel too.
+    """
+    if len(arr) == 0:
+        return []
+    from repro.kernels import registry  # late: avoid import cycle
+
+    cells = np.floor(arr / side).astype(np.int64)
+    keys = registry.get_kernel("pack_cell_keys")(cells)
+    if keys is None:  # astronomically spread coordinates: row-wise fallback
+        _, inverse = np.unique(cells, axis=0, return_inverse=True)
+        keys = inverse.ravel()
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
+    splits = np.split(order, boundaries)
+    return [
+        (tuple(int(c) for c in cells[s[0]]), s)
+        for s in splits
+    ]
+
+
+def box_sq_dists(pts: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Squared distance from each row to an axis-parallel box.
+
+    Vectorized :func:`repro.geometry.points.box_min_sq_dist` — a lower
+    bound on the distance to any point inside the box, used to prune
+    rows that can never witness a ball predicate against that box.
+    """
+    d = np.maximum(np.maximum(lo - pts, pts - hi), 0.0)
+    return np.einsum("ij,ij->i", d, d)
+
+
+def cell_gap_sq_dists(deltas: np.ndarray, side: float) -> np.ndarray:
+    """Squared boundary gap of cells offset by integer rows ``deltas``.
+
+    Matches :meth:`repro.core.grid.Grid.cell_min_sq_dist` on every row:
+    per dimension the boundary gap is ``max(|delta| - 1, 0) * side``.
+    """
+    gaps = np.maximum(np.abs(deltas) - 1, 0) * side
+    return (gaps * gaps).sum(axis=1)
+
+
+BACKEND = Backend(
+    name="numpy",
+    kernels={
+        "distance_matrix": distance_matrix,
+        "ball_counts": ball_counts,
+        "any_within": any_within,
+        "count_within": count_within,
+        "find_within_many": find_within_many,
+        "bucket_by_cell": bucket_by_cell,
+        "pack_cell_keys": pack_cell_keys,
+        "box_sq_dists": box_sq_dists,
+        "cell_gap_sq_dists": cell_gap_sq_dists,
+    },
+    description="numpy reference (BLAS identity + exact band recheck)",
+)

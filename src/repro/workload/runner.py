@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Protocol, Sequence
 
+from repro import kernels
 from repro.workload.workload import Workload, batch_ops
 
 
@@ -83,11 +84,16 @@ class RunResult:
     ``per-update`` / ``per-operation`` accessors amortize batch entries
     over their sizes, which is what makes batched and sequential runs
     comparable number-for-number.
+
+    ``backend`` records which kernel backend (:mod:`repro.kernels`)
+    produced the run, so benchmark files and reports can attribute
+    numbers to the compute substrate that generated them.
     """
 
     op_kinds: List[str] = field(default_factory=list)
     op_costs: List[float] = field(default_factory=list)
     op_sizes: List[int] = field(default_factory=list)
+    backend: str = ""
 
     def _sizes(self) -> List[int]:
         # Hand-built results may omit sizes; treat every entry as 1 op.
@@ -181,7 +187,7 @@ def run_workload(
     max_ops: Optional[int] = None,
 ) -> RunResult:
     """Run (a prefix of) a workload, timing each operation."""
-    result = RunResult()
+    result = RunResult(backend=kernels.active_backend_name())
     pid_of = {}
     perf = time.perf_counter
     ops = workload.ops if max_ops is None else workload.ops[:max_ops]
@@ -232,7 +238,7 @@ def run_workload_batched(
     ``op_sizes[i]`` updates.  Queries observe the same alive sets as in
     the sequential encoding, so results are comparable run-for-run.
     """
-    result = RunResult()
+    result = RunResult(backend=kernels.active_backend_name())
     pid_of = {}
     perf = time.perf_counter
     ops = workload.ops if max_ops is None else workload.ops[:max_ops]

@@ -90,6 +90,25 @@ class TestBatchedBench:
         assert code == 0
         assert "semi-approx" in capsys.readouterr().out
 
+    def test_backend_flag_parsed_and_reported(self, capsys):
+        from repro import kernels
+
+        args = build_parser().parse_args(["bench", "--backend", "numpy"])
+        assert args.backend == "numpy"
+        previous = kernels.active_backend().requested
+        try:
+            code = main(
+                ["bench", "--n", "120", "--backend", "numpy", "double-approx"]
+            )
+        finally:
+            kernels.use_backend(previous)
+        assert code == 0
+        assert "backend=numpy" in capsys.readouterr().out
+
+    def test_backend_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--backend", "warp"])
+
     def test_invalid_batch_size_clean_error(self, capsys):
         for bad in ("0", "-4"):
             code = main(["bench", "--n", "50", "--batch-size", bad, "double-approx"])

@@ -176,3 +176,75 @@ class TestEmptyMany:
         assert s.empty_many(np.empty((0, 2))) == []
         s.insert(1, (0.0, 0.0))
         assert s.empty_many(np.array([[3.0, 3.0]])) == [None]
+
+
+class TestEmptyManyValidation:
+    """Malformed query batches must fail up front with a clear
+    ValueError, never as a numpy broadcast error deep in a kernel."""
+
+    def _structure(self):
+        s = EmptinessStructure(2, 1.0, 0.0)
+        s.insert(1, (0.0, 0.0))
+        return s
+
+    def test_ragged_batch_rejected(self):
+        with pytest.raises(ValueError, match="empty_many query"):
+            self._structure().empty_many([(0.0, 0.0), (1.0,)])
+
+    def test_object_array_rejected(self):
+        import numpy as np
+
+        ragged = np.empty(2, dtype=object)
+        ragged[0] = (0.0, 0.0)
+        ragged[1] = (1.0, 2.0, 3.0)
+        with pytest.raises(ValueError, match="empty_many query"):
+            self._structure().empty_many(ragged)
+
+    def test_wrong_dimension_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match=r"expected \(n, 2\)"):
+            self._structure().empty_many(np.zeros((3, 5)))
+        # A single flat point is not an (n, dim) batch either.
+        with pytest.raises(ValueError, match="empty_many query"):
+            self._structure().empty_many(np.array([1.0, 2.0]))
+
+    def test_non_finite_rejected_on_conversion(self):
+        # Conversion-path inputs (anything but a ready float64 batch)
+        # get the full validation, including the finite scan.
+        with pytest.raises(ValueError, match="non-finite"):
+            self._structure().empty_many([[float("nan"), 0.0]])
+
+    def test_float64_batches_pass_straight_through(self):
+        import numpy as np
+
+        got = self._structure().empty_many(np.array([[0.5, 0.0], [5.0, 5.0]]))
+        assert got == [1, None]
+
+    def test_valid_lists_still_accepted(self):
+        assert self._structure().empty_many([[0.5, 0.0], [5.0, 5.0]]) == [1, None]
+
+
+class TestCounterMatrixPath:
+    """The counting twin of the emptiness matrix path: small structures
+    with buffered bulk insertions answer without indexing the buffer."""
+
+    def test_count_sees_buffer_without_flushing(self):
+        c = ApproximateRangeCounter(2, 1.0, 0.0)
+        c.insert_many([(1, (0.0, 0.0)), (2, (0.5, 0.0)), (3, (4.0, 4.0))])
+        assert c._pending  # still buffered
+        assert c.count((0.0, 0.0)) == 2
+        assert c._pending  # the kernel-backed count did not flush
+
+    def test_matrix_count_matches_tree_count_exact(self):
+        import random as _random
+
+        rng = _random.Random(7)
+        pts = [(rng.random() * 4, rng.random() * 4) for _ in range(100)]
+        buffered = ApproximateRangeCounter(2, 1.0, 0.0)
+        buffered.insert_many(list(enumerate(pts)))
+        eager = ApproximateRangeCounter(2, 1.0, 0.0)
+        for pid, p in enumerate(pts):
+            eager.insert(pid, p)
+        for q in pts[:25]:
+            assert buffered.count(q) == eager.count(q)

@@ -264,14 +264,14 @@ class TestProofsWithin:
     def test_matrix_helper_exact_and_deterministic(self):
         import numpy as np
 
-        from repro.geometry.kdtree import proofs_within
+        from repro.kernels import find_within_many
 
         ids = [5, 9, 11, 40]
         pts = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0], [5.0, 5.0]])
         qs = np.array([[0.1, 0.0], [1.0, 0.0], [9.0, 9.0]])
-        got = proofs_within(qs, ids, pts, 1.0)
+        got = find_within_many(qs, ids, pts, 1.0)
         # Lowest-index match wins: the first query is within 1.0 of both
         # point 5 (d^2=0.01) and nothing else; the second of 5 and 9.
         assert got == [5, 5, None]
-        assert proofs_within(np.empty((0, 2)), ids, pts, 1.0) == []
-        assert proofs_within(qs, [], np.empty((0, 2)), 1.0) == [None] * 3
+        assert find_within_many(np.empty((0, 2)), ids, pts, 1.0) == []
+        assert find_within_many(qs, [], np.empty((0, 2)), 1.0) == [None] * 3

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 
+import repro.api
 from repro.core.fullydynamic import FullyDynamicClusterer
 from repro.core.semidynamic import SemiDynamicClusterer
 from repro.workload.config import MINPTS, RHO, bench_n, eps_for
@@ -92,6 +93,54 @@ def test_full_bulk_update_speedup():
         )
     else:
         assert speedup > 0.2, f"batch path degenerated: {speedup:.2f}x"
+
+
+def test_engine_facade_overhead():
+    """`Engine.ingest` must stay within 5% of the direct bulk path.
+
+    The service facade (`repro.api`) is glue, not compute: one epoch
+    stamp on top of `insert_many`.  This measures the same 2d
+    seed-spreader batch as `test_semi_insert_many_speedup` through
+    both entry points, best-of-two each to damp scheduler noise, and
+    holds the Engine path to within 5% of the direct path (so the
+    headline batch speedup over sequential insertion survives the
+    facade intact).
+    """
+    points = seed_spreader(N, DIM, seed=42)
+
+    def direct_run():
+        algo = SemiDynamicClusterer(EPS, MINPTS, rho=RHO, dim=DIM)
+        algo.insert_many(points)
+        return algo
+
+    def engine_run():
+        engine = repro.api.open(
+            algorithm="semi", eps=EPS, minpts=MINPTS, rho=RHO, dim=DIM
+        )
+        engine.ingest(points)
+        return engine
+
+    t_direct = min(_timed(direct_run) for _ in range(2))
+    t_engine = min(_timed(engine_run) for _ in range(2))
+    ratio = t_engine / t_direct if t_direct > 0 else float("inf")
+    # Stored as a speedup (direct/engine) so the results-file column
+    # reads like the others; ~1.0 means the facade is free.
+    _collected["semi engine vs direct"] = (
+        N, t_direct, t_engine, 1.0 / ratio if ratio else 0.0
+    )
+    seq = _collected.get("semi insert")
+    if seq is not None and t_engine > 0:
+        _collected["semi engine vs sequential"] = (
+            N, seq[1], t_engine, seq[1] / t_engine
+        )
+    if N >= ASSERT_FLOOR_N:
+        assert ratio <= 1.05, (
+            f"Engine.ingest must be within 5% of direct insert_many at "
+            f"N={N}, got {ratio:.3f}x ({t_engine:.3f}s vs {t_direct:.3f}s)"
+        )
+    else:
+        # Small runs only smoke the path; noise dominates the ratio.
+        assert ratio <= 2.0, f"engine path degenerated: {ratio:.2f}x"
 
 
 def test_zz_write_results():

@@ -1,30 +1,37 @@
 #!/usr/bin/env python
-"""Quickstart: dynamic density-based clustering with C-group-by queries.
+"""Quickstart: dynamic density-based clustering through `repro.api`.
 
-Demonstrates the core API of the library on a tiny 2D dataset:
+Demonstrates the service facade — the library's preferred entry point —
+on a tiny 2D dataset:
 
-* inserting points into the fully-dynamic clusterer,
-* asking C-group-by queries over a handful of points,
+* opening an :class:`~repro.api.Engine` from typed config knobs,
+* ingesting points and asking C-group-by queries (epoch-stamped),
 * watching a deletion split a cluster (the paper's Figure 1 in reverse).
+
+The pre-engine API (``double_approx(...)`` and friends) still works —
+see the README migration table — but new code should start here.
 
 Run: python examples/quickstart.py
 """
 
-from repro import double_approx
+import repro.api
 
 
-def describe(result, names):
+def describe(outcome, names):
     parts = []
-    for group in result.groups:
+    for group in outcome.groups:
         parts.append("{" + ", ".join(sorted(names[p] for p in group)) + "}")
-    if result.noise:
-        parts.append("noise: {" + ", ".join(sorted(names[p] for p in result.noise)) + "}")
+    if outcome.noise:
+        parts.append("noise: {" + ", ".join(sorted(names[p] for p in outcome.noise)) + "}")
     return "  ".join(parts)
 
 
 def main():
-    # Exact DBSCAN (rho=0 would be exact; 0.001 is the paper's default).
-    algo = double_approx(eps=1.0, minpts=3, rho=0.001, dim=2)
+    # One validated config: the fully-dynamic algorithm at the paper's
+    # default approximation (rho=0 would be exact DBSCAN).
+    engine = repro.api.open(
+        algorithm="full", eps=1.0, minpts=3, rho=0.001, dim=2
+    )
 
     # Two blobs connected by a thin bridge.
     left_blob = [(0.0, 0.0), (0.4, 0.2), (0.2, 0.5), (0.5, 0.5)]
@@ -35,30 +42,34 @@ def main():
     names = {}
     ids = {}
     for label, pts in (("L", left_blob), ("R", right_blob), ("B", bridge)):
-        for i, p in enumerate(pts):
-            pid = algo.insert(p)
+        for i, pid in enumerate(engine.ingest(pts)):
             names[pid] = f"{label}{i}"
             ids[f"{label}{i}"] = pid
-    pid = algo.insert(outlier)
+    pid = engine.insert(outlier)
     names[pid] = "outlier"
     ids["outlier"] = pid
 
-    print(f"{len(algo)} points inserted, {algo.cell_count} non-empty grid cells")
+    stats = engine.stats()
+    print(
+        f"{stats.points} points ingested, {stats.cells} non-empty grid "
+        f"cells, epoch {stats.epoch}, backend {stats.backend}"
+    )
 
     query = [ids["L0"], ids["R0"], ids["B1"], ids["outlier"]]
     print("\nC-group-by over {L0, R0, B1, outlier} with the bridge present:")
-    print(" ", describe(algo.cgroup_by(query), names))
+    print(" ", describe(engine.cgroup_by(query), names))
 
     print("\nDeleting the bridge points...")
-    for i in range(len(bridge)):
-        algo.delete(ids[f"B{i}"])
+    engine.delete_many([ids[f"B{i}"] for i in range(len(bridge))])
 
     print("Same query after the deletion (the cluster split in two):")
-    print(" ", describe(algo.cgroup_by([ids["L0"], ids["R0"], ids["outlier"]]), names))
+    print(" ", describe(
+        engine.cgroup_by([ids["L0"], ids["R0"], ids["outlier"]]), names
+    ))
 
-    full = algo.clusters()
-    print(f"\nFull clustering: {full.cluster_count} clusters, "
-          f"{len(full.noise)} noise points")
+    snap = engine.snapshot()
+    print(f"\nFull clustering @ epoch {snap.epoch}: {snap.cluster_count} "
+          f"clusters, {len(snap.noise)} noise points")
 
 
 if __name__ == "__main__":

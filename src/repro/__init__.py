@@ -3,27 +3,38 @@
 A full reproduction of the paper's systems:
 
 * **Semi-dynamic rho-approximate DBSCAN** (Theorem 1) —
-  :class:`SemiDynamicClusterer` / :func:`semi_approx` /
-  :func:`semi_exact_2d`;
+  ``algorithm="semi"`` / :class:`SemiDynamicClusterer`;
 * **Fully-dynamic rho-double-approximate DBSCAN** (Theorem 4) —
-  :class:`FullyDynamicClusterer` / :func:`double_approx` /
-  :func:`full_exact_2d`;
+  ``algorithm="full"`` / :class:`FullyDynamicClusterer`;
 * **C-group-by queries** on both (``cgroup_by``), the paper's novel query;
 * **IncDBSCAN** (Ester et al. 1998), the dynamic competitor;
 * static exact / rho-approximate DBSCAN references, the sandwich and
   legality validators, the seed-spreader workload generator, and the
   USEC / USEC-LS hardness machinery.
 
-Quickstart::
+Quickstart — the service facade (:mod:`repro.api`) is the preferred
+entry point::
 
-    from repro import double_approx
+    import repro.api
 
-    algo = double_approx(eps=3.0, minpts=5, rho=0.001, dim=2)
-    ids = [algo.insert(p) for p in points]
-    result = algo.cgroup_by(ids[:10])   # group 10 points by cluster
-    algo.delete(ids[0])                 # fully dynamic
+    engine = repro.api.open(
+        algorithm="full", eps=3.0, minpts=5, rho=0.001, dim=2
+    )
+    pids = engine.ingest(points)            # vectorized bulk insert
+    result = engine.cgroup_by(pids[:10])    # epoch-stamped C-group-by
+    engine.delete(pids[0])                  # fully dynamic
+    snapshot = engine.snapshot()            # full clustering @ epoch
 
-Exact DBSCAN is always the ``rho=0`` special case.
+Configuration is one frozen, validated :class:`EngineConfig`; every
+user-facing failure derives from :class:`ReproError`
+(:mod:`repro.errors`).  Exact DBSCAN is always the ``rho=0`` special
+case.
+
+The pre-engine entry points — :func:`semi_approx` /
+:func:`double_approx` / direct clusterer construction — remain
+supported thin shims over the same structures (the engine adds only
+epoch stamping on top of them); see the README migration table for the
+old-call → new-call mapping and each shim's status.
 """
 
 from repro.core.framework import CGroupByResult, Clustering
@@ -39,25 +50,51 @@ from repro.baselines.incdbscan import IncDBSCAN
 from repro.baselines.naive_dynamic import RecomputeClusterer
 from repro.baselines.static_dbscan import StaticClustering, dbscan_brute, dbscan_grid
 from repro.baselines.static_rho import rho_dbscan_static
+from repro.errors import (
+    ConfigError,
+    InvalidQueryError,
+    ReproError,
+    UnknownPointError,
+    UnsupportedOperationError,
+)
 from repro.validation import check_legality, check_sandwich
 from repro.workload.seed_spreader import seed_spreader
 from repro.workload.workload import Workload, generate_workload
 from repro.workload.runner import RunResult, run_workload
+from repro.api import (
+    Engine,
+    EngineConfig,
+    EngineStats,
+    IngestSession,
+    QueryOutcome,
+    Snapshot,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CGroupByResult",
     "ClusterEvent",
     "ClusterTracker",
     "Clustering",
+    "ConfigError",
+    "Engine",
+    "EngineConfig",
+    "EngineStats",
     "FullyDynamicClusterer",
     "Grid",
     "IncDBSCAN",
+    "IngestSession",
+    "InvalidQueryError",
+    "QueryOutcome",
     "RecomputeClusterer",
+    "ReproError",
     "RunResult",
     "SemiDynamicClusterer",
+    "Snapshot",
     "StaticClustering",
+    "UnknownPointError",
+    "UnsupportedOperationError",
     "Workload",
     "check_legality",
     "cluster_stats",

@@ -11,44 +11,43 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import statistics
 import sys
 from typing import List
 
 from repro import kernels
-from repro.baselines.incdbscan import IncDBSCAN
-from repro.baselines.naive_dynamic import RecomputeClusterer
-from repro.core.fullydynamic import FullyDynamicClusterer
-from repro.core.semidynamic import SemiDynamicClusterer
+from repro.api import Engine, EngineConfig
+from repro.api.config import ALGORITHM_CHOICES
 from repro.workload.config import MINPTS, RHO, backend_name, eps_for
-from repro.workload.runner import run_workload, run_workload_batched
+from repro.workload.runner import run_workload_engine
 from repro.workload.seed_spreader import seed_spreader
 from repro.workload.workload import generate_workload
 
-ALGORITHM_CHOICES = (
-    "semi-exact",
-    "semi-approx",
-    "full-exact",
-    "double-approx",
-    "incdbscan",
-    "recompute",
-)
 
-
-def _make_algorithm(name: str, eps: float, minpts: int, rho: float, dim: int):
-    if name == "semi-exact":
-        return SemiDynamicClusterer(eps, minpts, rho=0.0, dim=dim)
-    if name == "semi-approx":
-        return SemiDynamicClusterer(eps, minpts, rho=rho, dim=dim)
-    if name == "full-exact":
-        return FullyDynamicClusterer(eps, minpts, rho=0.0, dim=dim)
-    if name == "double-approx":
-        return FullyDynamicClusterer(eps, minpts, rho=rho, dim=dim)
-    if name == "incdbscan":
-        return IncDBSCAN(eps, minpts, dim=dim)
-    if name == "recompute":
-        return RecomputeClusterer(eps, minpts, dim=dim)
-    raise ValueError(f"unknown algorithm {name!r}")
+def _engine_for(
+    name: str,
+    eps: float,
+    minpts: int,
+    rho: float,
+    dim: int,
+    batch_size: int | None,
+) -> Engine:
+    """One benchmark engine: the CLI's bench path runs through repro.api."""
+    # Exact and rho-free algorithms ignore --rho (matching the historical
+    # CLI semantics); EngineConfig would reject the contradiction.
+    if name.endswith("-exact") or name in ("incdbscan", "recompute"):
+        rho = 0.0
+    return Engine.open(
+        EngineConfig(
+            eps=eps,
+            minpts=minpts,
+            algorithm=name,
+            rho=rho,
+            dim=dim,
+            batch_size=batch_size,
+        )
+    )
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -76,38 +75,88 @@ def cmd_bench(args: argparse.Namespace) -> int:
         query_frequency=max(1, int(args.n * args.query_freq)),
         seed=args.seed,
     )
-    batch_note = (
-        f", batched (insert_many/delete_many, batch={args.batch_size})"
-        if args.batch_size
-        else ""
-    )
-    print(
-        f"workload: N={args.n} (%ins={insert_fraction:.3f}), d={args.dim}, "
-        f"eps={eps:g}, MinPts={args.minpts}, rho={args.rho}, "
-        f"{workload.query_count} queries{batch_note}, "
-        f"backend={kernels.backend_summary()}"
-    )
+    as_text = args.format == "text"
+    record = {
+        "workload": {
+            "n": args.n,
+            "dim": args.dim,
+            "eps": eps,
+            "minpts": args.minpts,
+            "rho": args.rho,
+            "insert_fraction": insert_fraction,
+            "query_count": workload.query_count,
+            "batch_size": args.batch_size,
+            "seed": args.seed,
+        },
+        "backend": kernels.active_backend_name(),
+        "algorithms": [],
+    }
+    if as_text:
+        batch_note = (
+            f", batched (insert_many/delete_many, batch={args.batch_size})"
+            if args.batch_size
+            else ""
+        )
+        print(
+            f"workload: N={args.n} (%ins={insert_fraction:.3f}), d={args.dim}, "
+            f"eps={eps:g}, MinPts={args.minpts}, rho={args.rho}, "
+            f"{workload.query_count} queries{batch_note}, "
+            f"backend={kernels.backend_summary()}"
+        )
     for name in args.algorithms:
         if name.startswith("semi") and insert_fraction < 1.0:
-            print(f"  {name:14s} skipped (semi-dynamic, workload has deletions)")
+            if as_text:
+                print(
+                    f"  {name:14s} skipped "
+                    f"(semi-dynamic, workload has deletions)"
+                )
+            record["algorithms"].append({
+                "name": name,
+                "skipped": True,
+                "reason": "semi-dynamic algorithm, workload has deletions",
+            })
             continue
-        algo = _make_algorithm(name, eps, args.minpts, args.rho, args.dim)
-        if args.batch_size:
-            result = run_workload_batched(algo, workload, args.batch_size)
-        else:
-            result = run_workload(algo, workload)
+        engine = _engine_for(
+            name, eps, args.minpts, args.rho, args.dim, args.batch_size
+        )
+        result = run_workload_engine(engine, workload)
         queries = result.query_costs()
         # Amortized per-operation numbers, so batched and sequential rows
         # are comparable (a batch entry covers many updates); identical to
         # the raw per-op values for sequential runs.
         per_update = result.per_update_costs()
-        print(
-            f"  {name:14s} avg {result.average_cost_per_operation:10.1f} us/op   "
-            f"max-update {max(per_update) if per_update else 0.0:12.1f} us   "
-            f"p99-update {result.per_update_percentile(99):12.1f} us   "
-            f"avg-query {statistics.mean(queries) if queries else 0.0:10.1f} us   "
-            f"p99-query {result.query_percentile(99):10.1f} us"
-        )
+        entry = {
+            "name": name,
+            "skipped": False,
+            "avg_cost_per_op_us": result.average_cost_per_operation,
+            "avg_update_us": (
+                statistics.mean(per_update) if per_update else 0.0
+            ),
+            "max_update_us": max(per_update) if per_update else 0.0,
+            "p50_update_us": result.per_update_percentile(50),
+            "p99_update_us": result.per_update_percentile(99),
+            "avg_query_us": statistics.mean(queries) if queries else 0.0,
+            "p50_query_us": result.query_percentile(50),
+            "p99_query_us": result.query_percentile(99),
+            "update_count": len(per_update),
+            "query_count": len(queries),
+            "epoch": engine.epoch,
+            "backend": result.backend,
+            "config": engine.config.as_dict(),
+        }
+        record["algorithms"].append(entry)
+        if as_text:
+            # The text row is a projection of the same record entry, so
+            # the two formats can never drift apart.
+            print(
+                f"  {name:14s} avg {entry['avg_cost_per_op_us']:10.1f} us/op   "
+                f"max-update {entry['max_update_us']:12.1f} us   "
+                f"p99-update {entry['p99_update_us']:12.1f} us   "
+                f"avg-query {entry['avg_query_us']:10.1f} us   "
+                f"p99-query {entry['p99_query_us']:10.1f} us"
+            )
+    if not as_text:
+        print(json.dumps(record, indent=2))
     return 0
 
 
@@ -183,6 +232,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="drive the bulk-update engine: coalesce update runs into "
         "insert_many/delete_many calls of at most this many points",
+    )
+    bench.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human-readable rows (text) or one JSON "
+        "record with the full metrics (avg/max/p50/p99 update and "
+        "query costs, backend, per-algorithm engine config)",
     )
     bench.add_argument(
         "--backend",

@@ -1,0 +1,74 @@
+"""repro.api — the typed service facade over the paper's clusterers.
+
+The one stable entry point the CLI, the workload runner, the examples
+and future sharding/server layers all sit behind::
+
+    import repro.api
+
+    engine = repro.api.open(algorithm="full", eps=3.0, minpts=5, dim=2)
+    pids = engine.ingest(points)              # vectorized bulk insert
+    outcome = engine.cgroup_by(pids[:10])     # epoch-stamped result
+    engine.delete(pids[0])
+    snap = engine.snapshot()                  # full clustering @ epoch
+
+    with engine.session() as session:         # buffered async ingest
+        for p in stream:
+            session.ingest(p)                 # flushes on threshold
+        outcome = session.cgroup_by(pids)     # query barrier
+
+Configuration is one frozen, validated :class:`EngineConfig`; every
+user-facing failure derives from :class:`repro.errors.ReproError`
+(re-exported here), with :class:`ConfigError` covering every invalid
+knob.  The legacy entry points (``semi_approx``, ``double_approx``,
+direct clusterer construction) remain supported shims — see the README
+migration table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.config import ALGORITHM_CHOICES, DEFAULT_FLUSH_THRESHOLD, EngineConfig
+from repro.api.engine import Engine, EngineStats, QueryOutcome, Snapshot
+from repro.api.session import IngestSession
+from repro.errors import (
+    ConfigError,
+    InvalidQueryError,
+    ReproError,
+    UnknownPointError,
+    UnsupportedOperationError,
+)
+
+
+def open(config: Optional[EngineConfig] = None, **knobs) -> Engine:
+    """Open an :class:`Engine` — the library's front door.
+
+    Accepts a prebuilt :class:`EngineConfig`, bare config knobs, or a
+    config plus knob overrides (revalidated)::
+
+        engine = repro.api.open(eps=3.0, minpts=5)            # knobs
+        engine = repro.api.open(EngineConfig(eps=3.0, minpts=5))
+        engine = repro.api.open(base_config, dim=5)           # override
+
+    Shadows the ``open`` builtin inside this namespace only — call it
+    as ``repro.api.open``.
+    """
+    return Engine.open(config, **knobs)
+
+
+__all__ = [
+    "ALGORITHM_CHOICES",
+    "DEFAULT_FLUSH_THRESHOLD",
+    "ConfigError",
+    "Engine",
+    "EngineConfig",
+    "EngineStats",
+    "IngestSession",
+    "InvalidQueryError",
+    "QueryOutcome",
+    "ReproError",
+    "Snapshot",
+    "UnknownPointError",
+    "UnsupportedOperationError",
+    "open",
+]

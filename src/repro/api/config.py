@@ -1,0 +1,198 @@
+"""Typed, frozen engine configuration — all knob validation in one place.
+
+Every parameter that used to be scattered across clusterer
+constructors, environment variables and CLI flags (algorithm, eps,
+minpts, rho, dim, kernel backend, batch size, ingest flush policy)
+lives in one immutable :class:`EngineConfig`.  Construction validates
+everything and raises :class:`repro.errors.ConfigError` with a precise
+message, so "is this configuration valid?" is decided before any
+structure is built — the clusterers re-check their own invariants, but
+through this class a bad knob can never get that far.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from repro import kernels
+from repro.errors import ConfigError
+
+#: Canonical algorithm names (the paper's Section 8 line-up, matching
+#: the CLI choices) plus the two family aliases ``semi`` / ``full``,
+#: which resolve by ``rho``: exact when ``rho == 0``, approximate
+#: otherwise.
+ALGORITHM_CHOICES = (
+    "semi-exact",
+    "semi-approx",
+    "full-exact",
+    "double-approx",
+    "incdbscan",
+    "recompute",
+)
+
+_ALIASES = {"semi": ("semi-exact", "semi-approx"),
+            "full": ("full-exact", "double-approx")}
+
+#: Algorithms whose core definition has no rho relaxation at all.
+_EXACT_ONLY = ("incdbscan", "recompute")
+
+#: Default ingest-session buffer size (updates held before a flush).
+#: Large enough that pure-ingest phases amortize the vectorized batch
+#: paths, small enough that a query barrier never replays an unbounded
+#: buffer.
+DEFAULT_FLUSH_THRESHOLD = 4096
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Validated, immutable configuration of one :class:`repro.api.Engine`.
+
+    Required: ``eps`` (the DBSCAN radius) and ``minpts``.  Everything
+    else defaults to the paper's conventions: the fully-dynamic
+    algorithm, exact clustering (``rho = 0``), two dimensions, the
+    process-wide kernel backend left untouched, sequential updates (no
+    ``batch_size``), and ingest sessions flushing every
+    ``DEFAULT_FLUSH_THRESHOLD`` buffered updates.
+
+    ``algorithm`` accepts the canonical Section 8 names
+    (``semi-exact``, ``semi-approx``, ``full-exact``, ``double-approx``,
+    ``incdbscan``, ``recompute``) or a family alias (``semi`` /
+    ``full``) that resolves by ``rho``.  The instance stores the name
+    as given — so ``replace(rho=...)`` on a family alias re-resolves
+    instead of contradicting a frozen exact/approx choice — and
+    :attr:`resolved_algorithm` exposes the canonical name.
+
+    All validation happens here, in ``__post_init__``, and every
+    failure is a :class:`ConfigError`.
+    """
+
+    eps: float
+    minpts: int
+    algorithm: str = "full-exact"
+    rho: float = 0.0
+    dim: int = 2
+    backend: Optional[str] = None
+    batch_size: Optional[int] = None
+    flush_threshold: Optional[int] = DEFAULT_FLUSH_THRESHOLD
+
+    def __post_init__(self) -> None:
+        algorithm = self.algorithm
+        if algorithm not in ALGORITHM_CHOICES and algorithm not in _ALIASES:
+            raise ConfigError(
+                f"unknown algorithm {self.algorithm!r}; choices: "
+                f"{', '.join(ALGORITHM_CHOICES + tuple(_ALIASES))}"
+            )
+        if not isinstance(self.eps, (int, float)) or isinstance(self.eps, bool):
+            raise ConfigError(f"eps must be a number, got {self.eps!r}")
+        if not math.isfinite(self.eps) or self.eps <= 0:
+            raise ConfigError(f"eps must be positive and finite, got {self.eps}")
+        if not isinstance(self.minpts, int) or isinstance(self.minpts, bool):
+            raise ConfigError(f"minpts must be an integer, got {self.minpts!r}")
+        if self.minpts < 1:
+            raise ConfigError(f"minpts must be >= 1, got {self.minpts}")
+        if not isinstance(self.rho, (int, float)) or isinstance(self.rho, bool):
+            raise ConfigError(f"rho must be a number, got {self.rho!r}")
+        if not math.isfinite(self.rho) or self.rho < 0:
+            raise ConfigError(
+                f"rho must be non-negative and finite, got {self.rho}"
+            )
+        # Family aliases resolve by rho, so only an *explicitly* named
+        # exact algorithm can contradict a non-zero rho.
+        if algorithm.endswith("-exact") and self.rho != 0:
+            raise ConfigError(
+                f"algorithm {algorithm!r} is exact by definition but "
+                f"rho={self.rho}; use the approximate variant, the "
+                f"family alias, or rho=0"
+            )
+        if algorithm in _EXACT_ONLY and self.rho != 0:
+            raise ConfigError(
+                f"algorithm {algorithm!r} has no rho parameter; got "
+                f"rho={self.rho}"
+            )
+        if not isinstance(self.dim, int) or isinstance(self.dim, bool):
+            raise ConfigError(f"dim must be an integer, got {self.dim!r}")
+        if self.dim < 1:
+            raise ConfigError(f"dim must be >= 1, got {self.dim}")
+        if self.backend is not None and self.backend not in kernels.available_backends():
+            raise ConfigError(
+                f"unknown kernel backend {self.backend!r}; choices: "
+                f"{', '.join(kernels.available_backends())}"
+            )
+        if self.batch_size is not None:
+            if not isinstance(self.batch_size, int) or isinstance(self.batch_size, bool):
+                raise ConfigError(
+                    f"batch_size must be an integer, got {self.batch_size!r}"
+                )
+            if self.batch_size < 1:
+                raise ConfigError(
+                    f"batch_size must be >= 1, got {self.batch_size}"
+                )
+        if self.flush_threshold is not None:
+            if not isinstance(self.flush_threshold, int) or isinstance(
+                self.flush_threshold, bool
+            ):
+                raise ConfigError(
+                    f"flush_threshold must be an integer or None, got "
+                    f"{self.flush_threshold!r}"
+                )
+            if self.flush_threshold < 1:
+                raise ConfigError(
+                    f"flush_threshold must be >= 1 (or None to flush only "
+                    f"on barriers), got {self.flush_threshold}"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def resolved_algorithm(self) -> str:
+        """The canonical algorithm name (family aliases resolved by rho)."""
+        if self.algorithm in _ALIASES:
+            exact, approx = _ALIASES[self.algorithm]
+            return exact if self.rho == 0 else approx
+        return self.algorithm
+
+    @property
+    def insert_only(self) -> bool:
+        """Whether the configured algorithm rejects deletions."""
+        return self.algorithm.startswith("semi")
+
+    @property
+    def effective_rho(self) -> float:
+        """The rho the built clusterer actually runs with."""
+        return 0.0 if self.resolved_algorithm.endswith("-exact") else self.rho
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A new validated config with the given fields replaced."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (JSON-ready) of every configured knob."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def build_clusterer(self):
+        """Instantiate the configured clusterer (without backend side
+        effects — :meth:`repro.api.Engine.open` owns backend selection).
+        """
+        # Imported here: repro.core imports repro.kernels at module
+        # load, and keeping config importable early avoids any cycle.
+        from repro.baselines.incdbscan import IncDBSCAN
+        from repro.baselines.naive_dynamic import RecomputeClusterer
+        from repro.core.fullydynamic import FullyDynamicClusterer
+        from repro.core.semidynamic import SemiDynamicClusterer
+
+        algorithm = self.resolved_algorithm
+        if algorithm.startswith("semi"):
+            return SemiDynamicClusterer(
+                self.eps, self.minpts, rho=self.effective_rho, dim=self.dim
+            )
+        if algorithm in ("full-exact", "double-approx"):
+            return FullyDynamicClusterer(
+                self.eps, self.minpts, rho=self.effective_rho, dim=self.dim
+            )
+        if algorithm == "incdbscan":
+            return IncDBSCAN(self.eps, self.minpts, dim=self.dim)
+        return RecomputeClusterer(self.eps, self.minpts, dim=self.dim)

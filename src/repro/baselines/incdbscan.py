@@ -28,6 +28,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.connectivity.union_find import UnionFind
 from repro.core.bulk import SequentialBulkMixin, SequentialQueryMixin
+from repro.errors import ConfigError, UnknownPointError
 from repro.core.framework import (
     CGroupByResult,
     Clustering,
@@ -48,9 +49,9 @@ class IncDBSCAN(SequentialBulkMixin, SequentialQueryMixin):
 
     def __init__(self, eps: float, minpts: int, dim: int = 2) -> None:
         if eps <= 0:
-            raise ValueError(f"eps must be positive, got {eps}")
+            raise ConfigError(f"eps must be positive, got {eps}")
         if minpts < 1:
-            raise ValueError(f"minpts must be >= 1, got {minpts}")
+            raise ConfigError(f"minpts must be >= 1, got {minpts}")
         self.eps = eps
         self.minpts = minpts
         self.dim = dim
@@ -99,7 +100,7 @@ class IncDBSCAN(SequentialBulkMixin, SequentialQueryMixin):
 
     def insert(self, point: Sequence[float]) -> int:
         if len(point) != self.dim:
-            raise ValueError(
+            raise ConfigError(
                 f"point has dimension {len(point)}, expected {self.dim}"
             )
         pid = self._next_id
@@ -143,6 +144,8 @@ class IncDBSCAN(SequentialBulkMixin, SequentialQueryMixin):
     # ------------------------------------------------------------------
 
     def delete(self, pid: int) -> None:
+        if pid not in self._points:
+            raise UnknownPointError(f"point id {pid} is not live")
         pt = self._points.pop(pid)
         self._tree.delete(pid)
         was_core = self._count.pop(pid) >= self.minpts

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.baselines.static_dbscan import StaticClustering, dbscan_grid
 from repro.core.bulk import SequentialBulkMixin, SequentialQueryMixin
+from repro.errors import ConfigError, UnknownPointError
 from repro.core.framework import (
     CGroupByResult,
     Clustering,
@@ -35,9 +36,9 @@ class RecomputeClusterer(SequentialBulkMixin, SequentialQueryMixin):
 
     def __init__(self, eps: float, minpts: int, dim: int = 2) -> None:
         if eps <= 0:
-            raise ValueError(f"eps must be positive, got {eps}")
+            raise ConfigError(f"eps must be positive, got {eps}")
         if minpts < 1:
-            raise ValueError(f"minpts must be >= 1, got {minpts}")
+            raise ConfigError(f"minpts must be >= 1, got {minpts}")
         self.eps = eps
         self.minpts = minpts
         self.dim = dim
@@ -65,7 +66,7 @@ class RecomputeClusterer(SequentialBulkMixin, SequentialQueryMixin):
 
     def insert(self, point: Sequence[float]) -> int:
         if len(point) != self.dim:
-            raise ValueError(
+            raise ConfigError(
                 f"point has dimension {len(point)}, expected {self.dim}"
             )
         pid = self._next_id
@@ -75,6 +76,8 @@ class RecomputeClusterer(SequentialBulkMixin, SequentialQueryMixin):
         return pid
 
     def delete(self, pid: int) -> None:
+        if pid not in self._points:
+            raise UnknownPointError(f"point id {pid} is not live")
         del self._points[pid]
         self._cache = None
 

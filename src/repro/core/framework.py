@@ -18,6 +18,7 @@ from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.bulk import SequentialBulkMixin
+from repro.errors import ConfigError, UnknownPointError
 from repro.kernels import as_point_array, bucket_by_cell
 from repro.core.grid import Cell, Grid
 from repro.geometry.points import Point, sq_dist
@@ -74,7 +75,7 @@ def validated_query_pids(pids: Iterable[int], live: Dict[int, Point]) -> List[in
     pid_list = list(pids)
     missing = [pid for pid in pid_list if pid not in live]
     if missing:
-        raise KeyError(
+        raise UnknownPointError(
             f"point id(s) {sorted(set(missing))} are not live; "
             f"the query was rejected before resolving any group"
         )
@@ -135,7 +136,7 @@ class GridClusterer(SequentialBulkMixin):
         strategy: str = "auto",
     ) -> None:
         if minpts < 1:
-            raise ValueError(f"minpts must be >= 1, got {minpts}")
+            raise ConfigError(f"minpts must be >= 1, got {minpts}")
         self.eps = eps
         self.minpts = minpts
         self.rho = rho
@@ -175,7 +176,7 @@ class GridClusterer(SequentialBulkMixin):
 
     def _register_point(self, point: Sequence[float]) -> Tuple[int, Point]:
         if len(point) != self.dim:
-            raise ValueError(
+            raise ConfigError(
                 f"point has dimension {len(point)}, clusterer expects {self.dim}"
             )
         pid = self._next_id

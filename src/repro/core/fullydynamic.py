@@ -32,6 +32,7 @@ from repro.connectivity.hdt import HDTConnectivity
 from repro.connectivity.naive import NaiveConnectivity
 from repro.core.abcp import ABCPInstance, RescanBCP, SuffixABCP, SIDE_A, SIDE_B
 from repro.core.framework import GridClusterer
+from repro.errors import ConfigError, UnknownPointError
 from repro.kernels import ball_counts, bucket_by_cell
 from repro.core.grid import Cell
 from repro.geometry.emptiness import EmptinessStructure
@@ -81,7 +82,7 @@ class FullyDynamicClusterer(GridClusterer):
         elif connectivity == "naive":
             self._conn = NaiveConnectivity()
         else:
-            raise ValueError(
+            raise ConfigError(
                 f"connectivity must be 'hdt' or 'naive', got {connectivity!r}"
             )
         if bcp == "abcp":
@@ -97,7 +98,7 @@ class FullyDynamicClusterer(GridClusterer):
                 a.emptiness, b.emptiness, self._coords, a.core_log, b.core_log
             )
         else:
-            raise ValueError(
+            raise ConfigError(
                 f"bcp must be 'abcp', 'rescan' or 'suffix', got {bcp!r}"
             )
 
@@ -226,9 +227,12 @@ class FullyDynamicClusterer(GridClusterer):
             return
         if len(set(pid_list)) != len(pid_list):
             raise ValueError("duplicate point ids in delete_many batch")
-        for pid in pid_list:
-            if pid not in self._points:
-                raise KeyError(f"point id {pid} is not live")
+        dead = [pid for pid in pid_list if pid not in self._points]
+        if dead:
+            raise UnknownPointError(
+                f"point id(s) {sorted(set(dead))} are not live; "
+                f"the batch was rejected before deleting anything"
+            )
         affected: Set[Cell] = set()
         for pid in pid_list:
             cell = self._grid.cell_of(self._points[pid])
@@ -269,7 +273,7 @@ class FullyDynamicClusterer(GridClusterer):
 
     def delete(self, pid: int) -> None:
         if pid not in self._points:
-            raise KeyError(f"point id {pid} is not live")
+            raise UnknownPointError(f"point id {pid} is not live")
         pt = self._points[pid]
         cell = self._grid.cell_of(pt)
         data: _FullCell = self._cells[cell]  # type: ignore[assignment]

@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.kernels import cell_gap_sq_dists
 
 Cell = Tuple[int, ...]
@@ -37,13 +38,13 @@ class Grid:
         self, eps: float, dim: int, rho: float = 0.0, strategy: str = "auto"
     ) -> None:
         if eps <= 0:
-            raise ValueError(f"eps must be positive, got {eps}")
+            raise ConfigError(f"eps must be positive, got {eps}")
         if dim < 1:
-            raise ValueError(f"dimension must be >= 1, got {dim}")
+            raise ConfigError(f"dimension must be >= 1, got {dim}")
         if rho < 0:
-            raise ValueError(f"rho must be non-negative, got {rho}")
+            raise ConfigError(f"rho must be non-negative, got {rho}")
         if strategy not in _STRATEGIES:
-            raise ValueError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
+            raise ConfigError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
         self.eps = eps
         self.dim = dim
         self.rho = rho

@@ -1,0 +1,73 @@
+"""The unified error model of the public API.
+
+Every user-facing failure raised by the library derives from
+:class:`ReproError`, so ``except ReproError`` catches anything the
+system itself diagnoses while programming errors (and numpy internals)
+still propagate as-is.  Each concrete class additionally subclasses the
+builtin exception the same failure used to raise — ``ConfigError`` is a
+``ValueError``, ``UnknownPointError`` a ``KeyError``,
+``UnsupportedOperationError`` a ``RuntimeError`` — so existing callers
+(and tests) that catch the old types keep working unchanged.
+
+The hierarchy:
+
+* :class:`ReproError` — root of everything the library diagnoses.
+
+  * :class:`ConfigError` — invalid construction-time parameters:
+    non-positive ``eps``, ``minpts < 1``, negative ``rho``, a point of
+    the wrong dimension, an unknown algorithm / backend / strategy.
+    All constructor and :class:`repro.api.EngineConfig` validation
+    raises this, so "is this configuration valid?" is one ``except``.
+  * :class:`UnknownPointError` — an operation referenced a point id
+    that is not live (never existed, or was deleted).  Queries raise it
+    *before* resolving any group, deletions before mutating anything.
+  * :class:`InvalidQueryError` — a query batch that is malformed as
+    data (ragged rows, wrong trailing dimension, non-finite
+    coordinates), as opposed to referencing dead ids.
+  * :class:`UnsupportedOperationError` — an operation the selected
+    algorithm cannot execute, e.g. a deletion reaching the insert-only
+    semi-dynamic clusterer.  Historically lived in
+    :mod:`repro.workload.runner`; importing it from there still works
+    but emits a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error the library itself diagnoses."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration or construction-time parameter."""
+
+
+class UnknownPointError(ReproError, KeyError):
+    """An operation referenced a point id that is not live.
+
+    Subclasses ``KeyError`` because that is what the point-store lookups
+    historically raised; ``str()`` therefore renders like a ``KeyError``
+    (the message in quotes).
+    """
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A query batch that is malformed as data (not a dead-id failure)."""
+
+
+class UnsupportedOperationError(ReproError, RuntimeError):
+    """An operation the selected algorithm cannot execute.
+
+    Raised with a clear diagnosis instead of letting the clusterer's
+    ``NotImplementedError`` escape mid-run — e.g. when a ``delete`` op
+    reaches the insert-only ``SemiDynamicClusterer``.
+    """
+
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "UnknownPointError",
+    "InvalidQueryError",
+    "UnsupportedOperationError",
+]

@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro import kernels
+from repro.errors import ConfigError, InvalidQueryError
 from repro.geometry.kdtree import DeferredKDTree
 
 #: At or below this many stored points ``empty_many`` answers with one
@@ -46,9 +47,9 @@ class EmptinessStructure(DeferredKDTree):
 
     def __init__(self, dim: int, eps: float, rho: float) -> None:
         if eps <= 0:
-            raise ValueError(f"eps must be positive, got {eps}")
+            raise ConfigError(f"eps must be positive, got {eps}")
         if rho < 0:
-            raise ValueError(f"rho must be non-negative, got {rho}")
+            raise ConfigError(f"rho must be non-negative, got {rho}")
         super().__init__(dim)
         self.eps = eps
         self.rho = rho
@@ -87,7 +88,7 @@ class EmptinessStructure(DeferredKDTree):
             try:
                 qs = kernels.as_point_array(qs, self.dim)
             except ValueError as exc:
-                raise ValueError(f"empty_many query {exc}") from None
+                raise InvalidQueryError(f"empty_many query {exc}") from None
         if len(qs) == 0:
             return []
         if len(self) <= _MATRIX_CUTOFF:

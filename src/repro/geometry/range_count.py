@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro import kernels
+from repro.errors import ConfigError
 from repro.geometry.kdtree import DeferredKDTree
 
 #: At or below this many stored points (with the write-behind buffer
@@ -40,9 +41,9 @@ class ApproximateRangeCounter(DeferredKDTree):
 
     def __init__(self, dim: int, eps: float, rho: float) -> None:
         if eps <= 0:
-            raise ValueError(f"eps must be positive, got {eps}")
+            raise ConfigError(f"eps must be positive, got {eps}")
         if rho < 0:
-            raise ValueError(f"rho must be non-negative, got {rho}")
+            raise ConfigError(f"rho must be non-negative, got {rho}")
         super().__init__(dim)
         self.eps = eps
         self.rho = rho

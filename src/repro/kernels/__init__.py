@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.kernels import accel, numpy_backend, registry
 from repro.kernels.interface import KERNEL_NAMES, MAX_BLOCK_BYTES, Backend, Cell
 from repro.kernels.registry import (
@@ -75,7 +76,7 @@ _env = os.environ.get("REPRO_BACKEND", registry.AUTO) or registry.AUTO
 try:
     use_backend(_env)
 except ValueError as exc:
-    raise ValueError(
+    raise ConfigError(
         f"REPRO_BACKEND={_env!r} is not a valid kernel backend: {exc}"
     ) from None
 

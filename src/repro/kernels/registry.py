@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, NamedTuple, Optional, Tuple
 
+from repro.errors import ConfigError
 from repro.kernels.interface import KERNEL_NAMES, Backend
 
 AUTO = "auto"
@@ -74,7 +75,7 @@ def _resolve_name(name: str) -> Backend:
         name = _preferred if _preferred in _backends else _reference.name
     backend = _backends.get(name)
     if backend is None:
-        raise ValueError(
+        raise ConfigError(
             f"unknown kernel backend {name!r}; choices: "
             f"{', '.join(available_backends())}"
         )

@@ -20,11 +20,12 @@ from repro.workload.workload import (
     batch_ops,
     generate_workload,
 )
+from repro.errors import UnsupportedOperationError
 from repro.workload.runner import (
     RunResult,
-    UnsupportedOperationError,
     run_workload,
     run_workload_batched,
+    run_workload_engine,
 )
 from repro.workload.metrics import avgcost_series, maxupdcost_series
 
@@ -39,5 +40,6 @@ __all__ = [
     "maxupdcost_series",
     "run_workload",
     "run_workload_batched",
+    "run_workload_engine",
     "seed_spreader",
 ]

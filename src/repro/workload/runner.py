@@ -17,10 +17,15 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Protocol, Sequence
 
 from repro import kernels
+# Imported under an alias so the module-level __getattr__ shim below
+# still intercepts (and deprecation-warns on) the historical
+# ``from repro.workload.runner import UnsupportedOperationError``.
+from repro.errors import UnsupportedOperationError as _UnsupportedOperationError
 from repro.workload.workload import Workload, batch_ops
 
 
@@ -49,13 +54,19 @@ class BulkDynamicClusterer(DynamicClusterer, Protocol):
     def cgroup_by_many(self, pids): ...
 
 
-class UnsupportedOperationError(RuntimeError):
-    """A workload operation the clusterer cannot execute.
-
-    Raised with a clear diagnosis instead of letting the clusterer's
-    ``NotImplementedError`` escape mid-run — e.g. when a ``delete`` op
-    reaches the insert-only ``SemiDynamicClusterer``.
-    """
+def __getattr__(name: str):
+    # Deprecated re-export: UnsupportedOperationError moved to
+    # repro.errors (PEP 562 module __getattr__, so importing it from
+    # here still works but warns).
+    if name == "UnsupportedOperationError":
+        warnings.warn(
+            "importing UnsupportedOperationError from repro.workload.runner "
+            "is deprecated; import it from repro.errors (or repro) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _UnsupportedOperationError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _interpolated_percentile(costs: List[float], p: float) -> float:
@@ -173,8 +184,8 @@ class RunResult:
         return _interpolated_percentile(self.query_costs(), p)
 
 
-def _unsupported(description: str, clusterer: object) -> UnsupportedOperationError:
-    return UnsupportedOperationError(
+def _unsupported(description: str, clusterer: object) -> _UnsupportedOperationError:
+    return _UnsupportedOperationError(
         f"{description} but {type(clusterer).__name__} does not support "
         f"deletions (insert-only algorithm); use FullyDynamicClusterer or "
         f"an insert-only workload"
@@ -279,3 +290,25 @@ def run_workload_batched(
         result.op_costs.append(elapsed * 1e6)
         result.op_sizes.append(size)
     return result
+
+
+def run_workload_engine(
+    engine,
+    workload: Workload,
+    max_ops: Optional[int] = None,
+) -> RunResult:
+    """Drive (a prefix of) a workload through a :class:`repro.api.Engine`.
+
+    The engine facade satisfies both runner protocols (its ``insert`` /
+    ``delete`` / ``cgroup_by`` and ``insert_many`` / ``delete_many`` /
+    ``cgroup_by_many`` delegate to the underlying clusterer), so this
+    picks the encoding from the engine's own configuration: the batched
+    encoding when ``engine.config.batch_size`` is set, the sequential
+    one otherwise.  Costs are therefore directly comparable with
+    :func:`run_workload` / :func:`run_workload_batched` runs of the same
+    workload against a bare clusterer.
+    """
+    batch_size = engine.config.batch_size
+    if batch_size:
+        return run_workload_batched(engine, workload, batch_size, max_ops)
+    return run_workload(engine, workload, max_ops)

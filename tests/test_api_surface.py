@@ -1,0 +1,106 @@
+"""Public-API surface snapshots.
+
+``repro.__all__`` and ``repro.api.__all__`` are the library's contract
+with its users: anything added here is a deliberate, reviewed decision
+(update the expected lists in the same PR), and anything that vanishes
+is an immediate CI failure instead of a silent break.  Every listed
+name must also actually resolve.
+"""
+
+from __future__ import annotations
+
+import repro
+import repro.api
+import repro.errors
+
+EXPECTED_API_ALL = [
+    "ALGORITHM_CHOICES",
+    "DEFAULT_FLUSH_THRESHOLD",
+    "ConfigError",
+    "Engine",
+    "EngineConfig",
+    "EngineStats",
+    "IngestSession",
+    "InvalidQueryError",
+    "QueryOutcome",
+    "ReproError",
+    "Snapshot",
+    "UnknownPointError",
+    "UnsupportedOperationError",
+    "open",
+]
+
+EXPECTED_REPRO_ALL = [
+    "CGroupByResult",
+    "ClusterEvent",
+    "ClusterTracker",
+    "Clustering",
+    "ConfigError",
+    "Engine",
+    "EngineConfig",
+    "EngineStats",
+    "FullyDynamicClusterer",
+    "Grid",
+    "IncDBSCAN",
+    "IngestSession",
+    "InvalidQueryError",
+    "QueryOutcome",
+    "RecomputeClusterer",
+    "ReproError",
+    "RunResult",
+    "SemiDynamicClusterer",
+    "Snapshot",
+    "StaticClustering",
+    "UnknownPointError",
+    "UnsupportedOperationError",
+    "Workload",
+    "check_legality",
+    "cluster_stats",
+    "check_sandwich",
+    "dbscan_brute",
+    "dbscan_grid",
+    "double_approx",
+    "full_exact_2d",
+    "generate_workload",
+    "rho_dbscan_static",
+    "run_workload",
+    "seed_spreader",
+    "semi_approx",
+    "semi_exact_2d",
+]
+
+EXPECTED_ERRORS_ALL = [
+    "ReproError",
+    "ConfigError",
+    "UnknownPointError",
+    "InvalidQueryError",
+    "UnsupportedOperationError",
+]
+
+
+def test_api_surface_snapshot():
+    assert repro.api.__all__ == EXPECTED_API_ALL
+
+
+def test_repro_surface_snapshot():
+    assert repro.__all__ == EXPECTED_REPRO_ALL
+
+
+def test_errors_surface_snapshot():
+    assert repro.errors.__all__ == EXPECTED_ERRORS_ALL
+
+
+def test_every_exported_name_resolves():
+    for module in (repro, repro.api, repro.errors):
+        for name in module.__all__:
+            assert getattr(module, name, None) is not None, (
+                f"{module.__name__}.{name} is exported but does not resolve"
+            )
+
+
+def test_legacy_entry_points_still_exported():
+    """The documented shims must stay importable until a major bump."""
+    for name in ("semi_approx", "semi_exact_2d", "double_approx",
+                 "full_exact_2d", "SemiDynamicClusterer",
+                 "FullyDynamicClusterer"):
+        assert name in repro.__all__

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -114,3 +116,58 @@ class TestBatchedBench:
             code = main(["bench", "--n", "50", "--batch-size", bad, "double-approx"])
             assert code == 2
             assert "--batch-size must be >= 1" in capsys.readouterr().err
+
+
+class TestJsonBench:
+    """`bench --format json` emits one machine-consumable metrics record."""
+
+    def test_format_flag_parsed(self):
+        assert build_parser().parse_args(["bench"]).format == "text"
+        args = build_parser().parse_args(["bench", "--format", "json"])
+        assert args.format == "json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--format", "yaml"])
+
+    def test_json_record_structure(self, capsys):
+        code = main(
+            ["bench", "--n", "150", "--seed", "3", "--format", "json",
+             "double-approx", "recompute"]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["workload"]["n"] == 150
+        assert record["workload"]["dim"] == 2
+        assert record["backend"]
+        by_name = {a["name"]: a for a in record["algorithms"]}
+        assert set(by_name) == {"double-approx", "recompute"}
+        entry = by_name["double-approx"]
+        assert not entry["skipped"]
+        for key in (
+            "avg_cost_per_op_us", "avg_update_us", "max_update_us",
+            "p50_update_us", "p99_update_us", "avg_query_us",
+            "p50_query_us", "p99_query_us",
+        ):
+            assert isinstance(entry[key], float), key
+        assert entry["p50_update_us"] <= entry["p99_update_us"] <= entry["max_update_us"]
+        assert entry["config"]["algorithm"] == "double-approx"
+        assert entry["config"]["rho"] == pytest.approx(0.001)
+        assert entry["epoch"] == entry["update_count"]
+        assert entry["backend"] == record["backend"]
+
+    def test_json_marks_skipped_algorithms(self, capsys):
+        code = main(["bench", "--n", "120", "--format", "json", "semi-approx"])
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        (entry,) = record["algorithms"]
+        assert entry["skipped"] and "deletions" in entry["reason"]
+
+    def test_json_batched_run(self, capsys):
+        code = main(
+            ["bench", "--n", "150", "--seed", "4", "--batch-size", "32",
+             "--format", "json", "double-approx"]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["workload"]["batch_size"] == 32
+        (entry,) = record["algorithms"]
+        assert entry["config"]["batch_size"] == 32

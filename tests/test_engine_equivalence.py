@@ -1,0 +1,174 @@
+"""Engine-vs-direct equivalence: the facade must add zero semantics.
+
+Driving the same workload through ``repro.api`` — the :class:`Engine`
+facade, a buffered :class:`IngestSession`, or the engine's batched
+runner path — must yield *bit-identical* canonical
+:class:`CGroupByResult` sequences to direct clusterer calls at
+``rho = 0`` (where every primitive is exact and the output is unique).
+Swept over dims 2/3/5 for both dynamic clusterers, with the batch
+query engine forced on to make the comparison non-trivial.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+import repro.api as api
+import repro.core.framework as framework
+from repro.core.framework import CGroupByResult
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.core.semidynamic import SemiDynamicClusterer
+from repro.workload.config import eps_for
+from repro.workload.runner import run_workload_engine
+from repro.workload.workload import Workload, generate_workload
+
+DIMS = (2, 3, 5)
+MINPTS = 10
+N = 400
+
+
+@pytest.fixture(autouse=True)
+def force_batch_engine(monkeypatch):
+    """Route every query through the vectorized engine (cutoff 0), so
+    the engine-vs-direct comparison exercises the real batch path."""
+    monkeypatch.setattr(framework, "_SEQUENTIAL_QUERY_CUTOFF", 0)
+
+
+def _workload(dim: int, insert_only: bool) -> Workload:
+    return generate_workload(
+        N,
+        dim,
+        insert_fraction=1.0 if insert_only else 5 / 6,
+        query_frequency=20,
+        seed=97 + dim,
+    )
+
+
+def _replay_direct(algo, workload: Workload) -> List[CGroupByResult]:
+    results = []
+    pid_of = {}
+    for kind, arg in workload.ops:
+        if kind == "insert":
+            pid_of[arg] = algo.insert(workload.points[arg])
+        elif kind == "delete":
+            algo.delete(pid_of.pop(arg))
+        else:
+            results.append(algo.cgroup_by([pid_of[i] for i in arg]))
+    return results
+
+
+def _replay_engine(engine: "api.Engine", workload: Workload) -> List[CGroupByResult]:
+    results = []
+    pid_of = {}
+    for kind, arg in workload.ops:
+        if kind == "insert":
+            pid_of[arg] = engine.insert(workload.points[arg])
+        elif kind == "delete":
+            engine.delete(pid_of.pop(arg))
+        else:
+            results.append(engine.cgroup_by([pid_of[i] for i in arg]).result)
+    return results
+
+
+def _replay_session(
+    engine: "api.Engine", workload: Workload, flush_threshold: int
+) -> List[CGroupByResult]:
+    results = []
+    pid_of = {}
+    with engine.session(flush_threshold=flush_threshold) as session:
+        for kind, arg in workload.ops:
+            if kind == "insert":
+                pid_of[arg] = session.ingest(workload.points[arg])
+            elif kind == "delete":
+                session.delete(pid_of.pop(arg))
+            else:
+                results.append(
+                    session.cgroup_by([pid_of[i] for i in arg]).result
+                )
+    return results
+
+
+def _assert_identical_sequences(
+    label: str, got: List[CGroupByResult], want: List[CGroupByResult]
+) -> None:
+    assert len(got) == len(want)
+    for i, (g, w) in enumerate(zip(got, want)):
+        assert g.groups == w.groups, f"{label}: query #{i} groups differ"
+        assert g.noise == w.noise, f"{label}: query #{i} noise differs"
+
+
+@pytest.mark.parametrize("dim", DIMS)
+def test_full_engine_matches_direct(dim):
+    workload = _workload(dim, insert_only=False)
+    eps = eps_for(dim)
+    direct = _replay_direct(
+        FullyDynamicClusterer(eps, MINPTS, rho=0.0, dim=dim), workload
+    )
+    assert direct, "workload produced no queries"
+
+    engine = api.open(algorithm="full", eps=eps, minpts=MINPTS, dim=dim)
+    _assert_identical_sequences(
+        f"engine d={dim}", _replay_engine(engine, workload), direct
+    )
+
+    buffered = api.open(algorithm="full", eps=eps, minpts=MINPTS, dim=dim)
+    _assert_identical_sequences(
+        f"session d={dim}", _replay_session(buffered, workload, 37), direct
+    )
+
+    # Final states agree too (one full Q = P comparison each).
+    reference = FullyDynamicClusterer(eps, MINPTS, rho=0.0, dim=dim)
+    _replay_direct(reference, workload)
+    want = reference.clusters()
+    for label, eng in (("engine", engine), ("session", buffered)):
+        snap = eng.snapshot()
+        assert sorted(map(sorted, snap.clusters)) == sorted(
+            map(sorted, want.clusters)
+        ), label
+        assert snap.noise == want.noise, label
+
+
+@pytest.mark.parametrize("dim", DIMS)
+def test_semi_engine_matches_direct(dim):
+    workload = _workload(dim, insert_only=True)
+    eps = eps_for(dim)
+    direct = _replay_direct(
+        SemiDynamicClusterer(eps, MINPTS, rho=0.0, dim=dim), workload
+    )
+    assert direct, "workload produced no queries"
+
+    engine = api.open(algorithm="semi", eps=eps, minpts=MINPTS, dim=dim)
+    _assert_identical_sequences(
+        f"engine d={dim}", _replay_engine(engine, workload), direct
+    )
+
+    buffered = api.open(algorithm="semi", eps=eps, minpts=MINPTS, dim=dim)
+    _assert_identical_sequences(
+        f"session d={dim}", _replay_session(buffered, workload, 53), direct
+    )
+
+
+@pytest.mark.parametrize("algorithm", ("semi", "full"))
+def test_batched_engine_runner_matches_direct_state(algorithm):
+    """The engine's batched runner path reaches the direct final state."""
+    insert_only = algorithm == "semi"
+    workload = _workload(2, insert_only=insert_only)
+    eps = eps_for(2)
+    cls = SemiDynamicClusterer if insert_only else FullyDynamicClusterer
+    reference = cls(eps, MINPTS, rho=0.0, dim=2)
+    _replay_direct(reference, workload)
+    want = reference.clusters()
+
+    engine = api.open(
+        algorithm=algorithm, eps=eps, minpts=MINPTS, dim=2, batch_size=64
+    )
+    result = run_workload_engine(engine, workload)
+    assert "insert_many" in result.op_kinds
+    assert result.backend == engine.backend
+    snap = engine.snapshot()
+    assert sorted(map(sorted, snap.clusters)) == sorted(
+        map(sorted, want.clusters)
+    )
+    assert snap.noise == want.noise

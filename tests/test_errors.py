@@ -1,0 +1,166 @@
+"""The unified error model: hierarchy, routing, and compatibility.
+
+Every user-facing failure derives from ``ReproError``; each concrete
+class also subclasses the builtin it historically raised, so callers
+catching ``ValueError`` / ``KeyError`` / ``RuntimeError`` keep working.
+Constructor/config validation across *all* clusterers must surface as
+``ConfigError``; dead-id failures as ``UnknownPointError``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import kernels
+from repro.api import EngineConfig
+from repro.baselines.incdbscan import IncDBSCAN
+from repro.baselines.naive_dynamic import RecomputeClusterer
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.core.semidynamic import SemiDynamicClusterer
+from repro.errors import (
+    ConfigError,
+    InvalidQueryError,
+    ReproError,
+    UnknownPointError,
+    UnsupportedOperationError,
+)
+
+ALL_CLUSTERERS = (
+    SemiDynamicClusterer,
+    FullyDynamicClusterer,
+    IncDBSCAN,
+    RecomputeClusterer,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (
+            ConfigError,
+            UnknownPointError,
+            InvalidQueryError,
+            UnsupportedOperationError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_builtin_compatibility(self):
+        """Each class keeps the builtin its failure historically raised."""
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(InvalidQueryError, ValueError)
+        assert issubclass(UnknownPointError, KeyError)
+        assert issubclass(UnsupportedOperationError, RuntimeError)
+
+    def test_one_except_catches_everything(self):
+        with pytest.raises(ReproError):
+            SemiDynamicClusterer(-1.0, 10)
+        with pytest.raises(ReproError):
+            FullyDynamicClusterer(1.0, 10).delete(123)
+
+
+class TestConstructorValidation:
+    """eps <= 0, minpts < 1, rho < 0, dim mismatch: each a ConfigError."""
+
+    @pytest.mark.parametrize("cls", ALL_CLUSTERERS)
+    @pytest.mark.parametrize("eps", (0.0, -3.5))
+    def test_nonpositive_eps(self, cls, eps):
+        with pytest.raises(ConfigError, match="eps must be positive"):
+            cls(eps, 10)
+
+    @pytest.mark.parametrize("cls", ALL_CLUSTERERS)
+    @pytest.mark.parametrize("minpts", (0, -2))
+    def test_minpts_below_one(self, cls, minpts):
+        with pytest.raises(ConfigError, match="minpts must be >= 1"):
+            cls(1.0, minpts)
+
+    @pytest.mark.parametrize(
+        "cls", (SemiDynamicClusterer, FullyDynamicClusterer)
+    )
+    def test_negative_rho(self, cls):
+        with pytest.raises(ConfigError, match="rho must be non-negative"):
+            cls(1.0, 10, rho=-0.001)
+
+    @pytest.mark.parametrize("cls", ALL_CLUSTERERS)
+    def test_dim_mismatch_on_insert(self, cls):
+        algo = cls(1.0, 3, dim=2)
+        with pytest.raises(ConfigError, match="dimension"):
+            algo.insert((1.0, 2.0, 3.0))
+
+    def test_bad_strategy_and_connectivity(self):
+        with pytest.raises(ConfigError, match="strategy"):
+            SemiDynamicClusterer(1.0, 10, strategy="quantum")
+        with pytest.raises(ConfigError, match="connectivity"):
+            FullyDynamicClusterer(1.0, 10, connectivity="psychic")
+        with pytest.raises(ConfigError, match="bcp"):
+            FullyDynamicClusterer(1.0, 10, bcp="oracle")
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigError, match="unknown kernel backend"):
+            kernels.use_backend("warp-drive")
+
+    def test_engine_config_mirrors_clusterer_validation(self):
+        """EngineConfig rejects exactly what the clusterers reject."""
+        with pytest.raises(ConfigError, match="eps"):
+            EngineConfig(eps=0.0, minpts=10)
+        with pytest.raises(ConfigError, match="minpts"):
+            EngineConfig(eps=1.0, minpts=0)
+        with pytest.raises(ConfigError, match="rho"):
+            EngineConfig(eps=1.0, minpts=10, rho=-0.1, algorithm="full")
+        with pytest.raises(ConfigError, match="dim"):
+            EngineConfig(eps=1.0, minpts=10, dim=0)
+        with pytest.raises(ConfigError, match="unknown kernel backend"):
+            EngineConfig(eps=1.0, minpts=10, backend="warp-drive")
+
+
+class TestUnknownPoint:
+    def test_query_rejects_dead_ids_across_clusterers(self):
+        for cls in ALL_CLUSTERERS:
+            algo = cls(1.0, 2, dim=2)
+            pid = algo.insert((0.0, 0.0))
+            with pytest.raises(UnknownPointError, match="not live"):
+                algo.cgroup_by([pid, 999])
+            # Compatibility: the historical KeyError contract still holds.
+            with pytest.raises(KeyError):
+                algo.cgroup_by([999])
+
+    def test_delete_rejects_dead_ids(self):
+        for cls in (FullyDynamicClusterer, IncDBSCAN, RecomputeClusterer):
+            algo = cls(1.0, 2, dim=2)
+            algo.insert((0.0, 0.0))
+            with pytest.raises(UnknownPointError, match="not live"):
+                algo.delete(41)
+
+    def test_bulk_delete_rejects_whole_batch_up_front(self):
+        algo = FullyDynamicClusterer(1.0, 2, dim=2)
+        pids = algo.insert_many([(0.0, 0.0), (0.1, 0.1)])
+        with pytest.raises(UnknownPointError, match="rejected"):
+            algo.delete_many([pids[0], 777])
+        # Nothing was deleted: the batch failed before mutating.
+        assert len(algo) == 2
+
+
+class TestInvalidQuery:
+    def test_malformed_query_batch(self):
+        from repro.geometry.emptiness import EmptinessStructure
+
+        struct = EmptinessStructure(2, 1.0, 0.0)
+        struct.insert(0, (0.0, 0.0))
+        with pytest.raises(InvalidQueryError, match="empty_many query"):
+            struct.empty_many([(0.0,), (1.0, 2.0, 3.0)])
+
+
+class TestDeprecatedRunnerShim:
+    def test_old_import_location_warns_and_aliases(self):
+        import repro.workload.runner as runner
+
+        with pytest.warns(DeprecationWarning, match="repro.errors"):
+            legacy = runner.UnsupportedOperationError
+        assert legacy is UnsupportedOperationError
+
+    def test_workload_package_reexport_is_clean(self, recwarn):
+        """repro.workload re-exports from the new home without warning."""
+        import repro.workload as workload
+
+        assert workload.UnsupportedOperationError is UnsupportedOperationError
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]

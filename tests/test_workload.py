@@ -346,7 +346,8 @@ class TestUnsupportedDeleteDiagnosis:
 
     def test_sequential_runner_raises_clear_error(self):
         from repro.core.semidynamic import SemiDynamicClusterer
-        from repro.workload.runner import UnsupportedOperationError, run_workload
+        from repro.errors import UnsupportedOperationError
+        from repro.workload.runner import run_workload
 
         w = generate_workload(60, 2, insert_fraction=0.7, seed=17)
         algo = SemiDynamicClusterer(200.0, 5, dim=2)
@@ -355,10 +356,8 @@ class TestUnsupportedDeleteDiagnosis:
 
     def test_batched_runner_raises_clear_error(self):
         from repro.core.semidynamic import SemiDynamicClusterer
-        from repro.workload.runner import (
-            UnsupportedOperationError,
-            run_workload_batched,
-        )
+        from repro.errors import UnsupportedOperationError
+        from repro.workload.runner import run_workload_batched
 
         w = generate_workload(60, 2, insert_fraction=0.7, seed=18)
         algo = SemiDynamicClusterer(200.0, 5, dim=2)
@@ -367,7 +366,8 @@ class TestUnsupportedDeleteDiagnosis:
 
     def test_error_names_the_offending_op(self):
         from repro.core.semidynamic import SemiDynamicClusterer
-        from repro.workload.runner import UnsupportedOperationError, run_workload
+        from repro.errors import UnsupportedOperationError
+        from repro.workload.runner import run_workload
 
         w = generate_workload(60, 2, insert_fraction=0.7, seed=19)
         algo = SemiDynamicClusterer(200.0, 5, dim=2)

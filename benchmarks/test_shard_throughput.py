@@ -1,0 +1,129 @@
+"""Ingest-throughput scaling of the sharded engine router.
+
+Not a paper figure: this benchmark records what horizontal scale-out
+buys on the paper's own data distribution.  A 2d seed-spreader stream
+of ``REPRO_BENCH_N`` points (default 50000) is ingested in chunks
+through sharded deployments of 1, 2 and 4 shards under both executors;
+the headline comparison is 4 shards on the process-pool executor
+against 1 shard on the same executor — real parallelism minus the halo
+replication and transport costs, through the identical routing and
+merge path.
+
+The >= 1.5x scaling floor only arms on machines that can actually run
+four shard workers in parallel (``os.cpu_count() >= 4``) at full scale
+(N >= 20000); smaller or narrower runs record their numbers and assert
+only that the path is not degenerate.  Clustering equivalence is
+asserted separately (and exhaustively) in
+``tests/test_shard_equivalence.py``.
+
+Results are written to benchmarks/results/shard_throughput.txt.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import repro.api
+from repro.workload.config import MINPTS, bench_n, eps_for
+from repro.workload.seed_spreader import seed_spreader
+
+from figlib import write_results
+
+DIM = 2
+N = bench_n(50000)
+EPS = eps_for(DIM)
+#: Ingest chunk size: several fan-outs per run, like a buffered
+#: ingest-session stream, rather than one monolithic batch.
+CHUNK = 10000
+#: Ownership block side (cells per axis).  Larger than the default 16:
+#: at 50k points the dataset still spans dozens of blocks per axis,
+#: and the halo-replication factor drops to ~1.3x.
+SHARD_BLOCK = 32
+
+ASSERT_FLOOR_N = 20000
+CPUS = os.cpu_count() or 1
+
+_collected = {}
+
+
+def _ingest_run(shards: int, executor: str):
+    points = seed_spreader(N, DIM, seed=42)
+    engine = repro.api.open(
+        algorithm="semi",
+        eps=EPS,
+        minpts=MINPTS,
+        rho=0.0,
+        dim=DIM,
+        shards=shards,
+        shard_block=SHARD_BLOCK,
+        shard_executor=executor,
+    )
+    try:
+        start = time.perf_counter()
+        for lo in range(0, len(points), CHUNK):
+            engine.ingest(points[lo : lo + CHUNK])
+        elapsed = time.perf_counter() - start
+        assert len(engine) == N
+        stats = engine.stats()
+        replication = stats.replicas / stats.points if stats.points else 0.0
+    finally:
+        engine.close()
+    label = f"{executor} x{shards}"
+    _collected[label] = (N, elapsed, N / elapsed if elapsed else 0.0, replication)
+    return elapsed
+
+
+def test_serial_executor_scaling_overhead():
+    """Serial shards record the pure routing + replication overhead."""
+    t1 = _ingest_run(1, "serial")
+    t4 = _ingest_run(4, "serial")
+    # Single-core by construction: 4 serial shards do ~replication-factor
+    # times the work of 1, so this only guards against degeneration.
+    assert t4 < t1 * 4.0, (
+        f"serial 4-shard ingest degenerated: {t4:.2f}s vs {t1:.2f}s x4"
+    )
+
+
+def test_process_pool_ingest_scaling():
+    """The headline: 4 process-pool shards vs 1, same routing and merge."""
+    t1 = _ingest_run(1, "process")
+    _ingest_run(2, "process")
+    t4 = _ingest_run(4, "process")
+    speedup = t1 / t4 if t4 > 0 else float("inf")
+    _collected["process x4 vs x1"] = (N, t1, t4, speedup)
+    if N >= ASSERT_FLOOR_N and CPUS >= 4:
+        assert speedup >= 1.5, (
+            f"4-shard process-pool ingest must be >= 1.5x a 1-shard "
+            f"deployment at N={N} on {CPUS} cpus, got {speedup:.2f}x "
+            f"({t1:.3f}s vs {t4:.3f}s)"
+        )
+    else:
+        # Not enough cores (or too small a run) for the floor to be
+        # meaningful; just guard against a degenerate routing path.
+        assert speedup > 0.2, f"sharded ingest degenerated: {speedup:.2f}x"
+
+
+def test_zz_write_results():
+    """Runs last (name-ordered): dump the collected series."""
+    lines = ["scenario\tn\tingest_s\tpoints_per_s\treplication"]
+    for name, (n, elapsed, rate, repl) in _collected.items():
+        if name.endswith("vs x1"):
+            continue
+        lines.append(f"{name}\t{n}\t{elapsed:.4f}\t{rate:.0f}\t{repl:.3f}")
+    headline = _collected.get("process x4 vs x1")
+    speed_lines = ["comparison\tn\tbaseline_s\tsharded_s\tspeedup"]
+    if headline is not None:
+        n, t1, t4, speedup = headline
+        speed_lines.append(
+            f"process x4 vs x1\t{n}\t{t1:.4f}\t{t4:.4f}\t{speedup:.2f}"
+        )
+    write_results(
+        "shard_throughput.txt",
+        f"Sharded ingest throughput: d={DIM}, eps={EPS}, MinPts={MINPTS}, "
+        f"rho=0, semi family, chunk={CHUNK}, shard_block={SHARD_BLOCK}, "
+        f"cpus={CPUS}, seed-spreader data "
+        f"(scaling floor arms at N>={ASSERT_FLOOR_N} and cpus>=4)",
+        [lines, speed_lines],
+    )
+    assert _collected, "no measurements collected"

@@ -1,0 +1,28 @@
+"""Repo-root pytest configuration.
+
+Registers the ``--shards`` option driving the shard differential
+harness (``tests/test_shard_equivalence.py``): a comma-separated list
+of shard counts every ``shard_count``-parametrized test runs under.
+The default sweeps ``1,2,4,8``; the CI shard matrix pins single values
+(``--shards 1`` / ``--shards 4``) so the jobs split the work.
+"""
+
+from __future__ import annotations
+
+DEFAULT_SHARD_COUNTS = "1,2,4,8"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shards",
+        default=DEFAULT_SHARD_COUNTS,
+        help="comma-separated shard counts for the shard differential "
+        f"harness (default: {DEFAULT_SHARD_COUNTS})",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "shard_count" in metafunc.fixturenames:
+        raw = metafunc.config.getoption("--shards")
+        counts = [int(part) for part in str(raw).split(",") if part.strip()]
+        metafunc.parametrize("shard_count", counts)

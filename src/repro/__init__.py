@@ -67,6 +67,8 @@ from repro.api import (
     EngineStats,
     IngestSession,
     QueryOutcome,
+    ShardedEngine,
+    ShardedStats,
     Snapshot,
 )
 
@@ -91,6 +93,8 @@ __all__ = [
     "ReproError",
     "RunResult",
     "SemiDynamicClusterer",
+    "ShardedEngine",
+    "ShardedStats",
     "Snapshot",
     "StaticClustering",
     "UnknownPointError",

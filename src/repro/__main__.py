@@ -16,9 +16,10 @@ import statistics
 import sys
 from typing import List
 
+import repro.api
 from repro import kernels
-from repro.api import Engine, EngineConfig
-from repro.api.config import ALGORITHM_CHOICES
+from repro.api import EngineConfig
+from repro.api.config import ALGORITHM_CHOICES, UNSHARDEABLE_ALGORITHMS
 from repro.workload.config import MINPTS, RHO, backend_name, eps_for
 from repro.workload.runner import run_workload_engine
 from repro.workload.seed_spreader import seed_spreader
@@ -31,23 +32,30 @@ def _engine_for(
     minpts: int,
     rho: float,
     dim: int,
+    backend: str,
     batch_size: int | None,
-) -> Engine:
+    shards: int | None = None,
+    shard_executor: str | None = None,
+):
     """One benchmark engine: the CLI's bench path runs through repro.api."""
     # Exact and rho-free algorithms ignore --rho (matching the historical
     # CLI semantics); EngineConfig would reject the contradiction.
     if name.endswith("-exact") or name in ("incdbscan", "recompute"):
         rho = 0.0
-    return Engine.open(
-        EngineConfig(
-            eps=eps,
-            minpts=minpts,
-            algorithm=name,
-            rho=rho,
-            dim=dim,
-            batch_size=batch_size,
-        )
+    config = EngineConfig(
+        eps=eps,
+        minpts=minpts,
+        algorithm=name,
+        rho=rho,
+        dim=dim,
+        # Carried in the config (not only selected process-wide) so
+        # shard worker processes resolve the same kernel backend.
+        backend=backend,
+        batch_size=batch_size,
+        shards=shards,
+        shard_executor=shard_executor if shards else None,
     )
+    return repro.api.open(config)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -65,6 +73,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shards is not None and args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.shards is not None:
+        unshardeable = [
+            a for a in args.algorithms if a in UNSHARDEABLE_ALGORITHMS
+        ]
+        if unshardeable:
+            print(
+                f"--shards requires grid-based algorithms; cannot shard: "
+                f"{', '.join(unshardeable)}",
+                file=sys.stderr,
+            )
+            return 2
     kernels.use_backend(args.backend)
     eps = args.eps if args.eps is not None else eps_for(args.dim, args.eps_per_d)
     insert_fraction = 1.0 if args.semi else args.insert_fraction
@@ -89,6 +111,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "seed": args.seed,
         },
         "backend": kernels.active_backend_name(),
+        "shards": args.shards or 1,
         "algorithms": [],
     }
     if as_text:
@@ -97,10 +120,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if args.batch_size
             else ""
         )
+        shard_note = (
+            f", sharded ({args.shards} shards, {args.shard_executor} executor)"
+            if args.shards
+            else ""
+        )
         print(
             f"workload: N={args.n} (%ins={insert_fraction:.3f}), d={args.dim}, "
             f"eps={eps:g}, MinPts={args.minpts}, rho={args.rho}, "
-            f"{workload.query_count} queries{batch_note}, "
+            f"{workload.query_count} queries{batch_note}{shard_note}, "
             f"backend={kernels.backend_summary()}"
         )
     for name in args.algorithms:
@@ -117,7 +145,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
             })
             continue
         engine = _engine_for(
-            name, eps, args.minpts, args.rho, args.dim, args.batch_size
+            name,
+            eps,
+            args.minpts,
+            args.rho,
+            args.dim,
+            args.backend,
+            args.batch_size,
+            args.shards,
+            args.shard_executor,
         )
         result = run_workload_engine(engine, workload)
         queries = result.query_costs()
@@ -142,8 +178,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "query_count": len(queries),
             "epoch": engine.epoch,
             "backend": result.backend,
+            "shards": result.shards,
             "config": engine.config.as_dict(),
         }
+        if args.shards:
+            engine.close()
         record["algorithms"].append(entry)
         if as_text:
             # The text row is a projection of the same record entry, so
@@ -232,6 +271,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="drive the bulk-update engine: coalesce update runs into "
         "insert_many/delete_many calls of at most this many points",
+    )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve through a sharded deployment: partition the cell "
+        "registry across this many per-shard engines behind one router "
+        "(grid-based algorithms only)",
+    )
+    bench.add_argument(
+        "--shard-executor",
+        choices=("serial", "process"),
+        default="serial",
+        help="where shard engines live: in-process (serial) or one "
+        "worker process per shard (process); only meaningful with "
+        "--shards",
     )
     bench.add_argument(
         "--format",

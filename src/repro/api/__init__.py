@@ -28,7 +28,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.api.config import ALGORITHM_CHOICES, DEFAULT_FLUSH_THRESHOLD, EngineConfig
+from repro.api.config import (
+    ALGORITHM_CHOICES,
+    DEFAULT_FLUSH_THRESHOLD,
+    DEFAULT_SHARD_BLOCK,
+    SHARD_EXECUTOR_CHOICES,
+    EngineConfig,
+)
 from repro.api.engine import Engine, EngineStats, QueryOutcome, Snapshot
 from repro.api.session import IngestSession
 from repro.errors import (
@@ -38,9 +44,10 @@ from repro.errors import (
     UnknownPointError,
     UnsupportedOperationError,
 )
+from repro.shard.engine import ShardedEngine, ShardedStats
 
 
-def open(config: Optional[EngineConfig] = None, **knobs) -> Engine:
+def open(config: Optional[EngineConfig] = None, **knobs):
     """Open an :class:`Engine` — the library's front door.
 
     Accepts a prebuilt :class:`EngineConfig`, bare config knobs, or a
@@ -50,15 +57,28 @@ def open(config: Optional[EngineConfig] = None, **knobs) -> Engine:
         engine = repro.api.open(EngineConfig(eps=3.0, minpts=5))
         engine = repro.api.open(base_config, dim=5)           # override
 
+    A config naming a shard count opens a :class:`ShardedEngine` (N
+    per-shard engines behind one router, same serving surface)::
+
+        engine = repro.api.open(eps=3.0, minpts=5, shards=4)
+
     Shadows the ``open`` builtin inside this namespace only — call it
     as ``repro.api.open``.
     """
+    if "shards" in knobs:  # an explicit shards=None override un-shards
+        sharded = knobs["shards"] is not None
+    else:
+        sharded = config is not None and config.shards is not None
+    if sharded:
+        return ShardedEngine.open(config, **knobs)
     return Engine.open(config, **knobs)
 
 
 __all__ = [
     "ALGORITHM_CHOICES",
     "DEFAULT_FLUSH_THRESHOLD",
+    "DEFAULT_SHARD_BLOCK",
+    "SHARD_EXECUTOR_CHOICES",
     "ConfigError",
     "Engine",
     "EngineConfig",
@@ -67,6 +87,8 @@ __all__ = [
     "InvalidQueryError",
     "QueryOutcome",
     "ReproError",
+    "ShardedEngine",
+    "ShardedStats",
     "Snapshot",
     "UnknownPointError",
     "UnsupportedOperationError",

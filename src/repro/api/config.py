@@ -44,6 +44,24 @@ _EXACT_ONLY = ("incdbscan", "recompute")
 #: buffer.
 DEFAULT_FLUSH_THRESHOLD = 4096
 
+#: Shard executor choices (see :mod:`repro.shard.executors`): backends
+#: in-process and called inline, or one worker process per shard.
+SHARD_EXECUTOR_CHOICES = ("serial", "process")
+
+#: Default cell-ownership block side (in cells per axis) of a sharded
+#: deployment.  Larger blocks shrink the halo-replication factor
+#: (fewer points near a foreign boundary) but leave fewer blocks to
+#: balance across shards; 16 keeps the replication factor moderate
+#: (~1.5x at d=2) while a seed-spreader-scale dataset still spans
+#: hundreds of blocks.
+DEFAULT_SHARD_BLOCK = 16
+
+#: Algorithms a sharded deployment cannot run: sharding partitions the
+#: *cell registry*, so only the grid-based clusterers qualify.  (Today
+#: this coincides with ``_EXACT_ONLY``, but the two express different
+#: properties — rho-free vs. grid-less — and may diverge.)
+UNSHARDEABLE_ALGORITHMS = ("incdbscan", "recompute")
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -53,8 +71,13 @@ class EngineConfig:
     else defaults to the paper's conventions: the fully-dynamic
     algorithm, exact clustering (``rho = 0``), two dimensions, the
     process-wide kernel backend left untouched, sequential updates (no
-    ``batch_size``), and ingest sessions flushing every
-    ``DEFAULT_FLUSH_THRESHOLD`` buffered updates.
+    ``batch_size``), ingest sessions flushing every
+    ``DEFAULT_FLUSH_THRESHOLD`` buffered updates, and a single engine
+    (no ``shards``).  Setting ``shards`` makes :func:`repro.api.open`
+    build a :class:`repro.shard.ShardedEngine` instead; ``shard_block``
+    (ownership block side, in cells per axis) and ``shard_executor``
+    (``serial`` / ``process``) tune the deployment and require
+    ``shards``.
 
     ``algorithm`` accepts the canonical Section 8 names
     (``semi-exact``, ``semi-approx``, ``full-exact``, ``double-approx``,
@@ -76,6 +99,9 @@ class EngineConfig:
     backend: Optional[str] = None
     batch_size: Optional[int] = None
     flush_threshold: Optional[int] = DEFAULT_FLUSH_THRESHOLD
+    shards: Optional[int] = None
+    shard_block: Optional[int] = None
+    shard_executor: Optional[str] = None
 
     def __post_init__(self) -> None:
         algorithm = self.algorithm
@@ -142,6 +168,46 @@ class EngineConfig:
                     f"flush_threshold must be >= 1 (or None to flush only "
                     f"on barriers), got {self.flush_threshold}"
                 )
+        if self.shards is not None:
+            if not isinstance(self.shards, int) or isinstance(self.shards, bool):
+                raise ConfigError(
+                    f"shards must be an integer or None, got {self.shards!r}"
+                )
+            if self.shards < 1:
+                raise ConfigError(f"shards must be >= 1, got {self.shards}")
+            if self.resolved_algorithm in UNSHARDEABLE_ALGORITHMS:
+                raise ConfigError(
+                    f"algorithm {self.resolved_algorithm!r} cannot be "
+                    f"sharded: sharding partitions the cell registry, "
+                    f"which only the grid-based algorithms (semi/full "
+                    f"families) maintain"
+                )
+        if self.shard_block is not None:
+            if self.shards is None:
+                raise ConfigError(
+                    f"shard_block={self.shard_block!r} requires shards to "
+                    f"be set"
+                )
+            if (
+                not isinstance(self.shard_block, int)
+                or isinstance(self.shard_block, bool)
+                or self.shard_block < 1
+            ):
+                raise ConfigError(
+                    f"shard_block must be a positive integer or None, got "
+                    f"{self.shard_block!r}"
+                )
+        if self.shard_executor is not None:
+            if self.shards is None:
+                raise ConfigError(
+                    f"shard_executor={self.shard_executor!r} requires "
+                    f"shards to be set"
+                )
+            if self.shard_executor not in SHARD_EXECUTOR_CHOICES:
+                raise ConfigError(
+                    f"unknown shard_executor {self.shard_executor!r}; "
+                    f"choices: {', '.join(SHARD_EXECUTOR_CHOICES)}"
+                )
 
     # ------------------------------------------------------------------
     # Derived views
@@ -164,6 +230,22 @@ class EngineConfig:
     def effective_rho(self) -> float:
         """The rho the built clusterer actually runs with."""
         return 0.0 if self.resolved_algorithm.endswith("-exact") else self.rho
+
+    @property
+    def resolved_shard_block(self) -> int:
+        """The cell-ownership block side a sharded deployment uses."""
+        return (
+            self.shard_block
+            if self.shard_block is not None
+            else DEFAULT_SHARD_BLOCK
+        )
+
+    @property
+    def resolved_shard_executor(self) -> str:
+        """The shard executor a sharded deployment uses."""
+        return (
+            self.shard_executor if self.shard_executor is not None else "serial"
+        )
 
     def replace(self, **changes) -> "EngineConfig":
         """A new validated config with the given fields replaced."""

@@ -273,6 +273,40 @@ class Engine:
         )
 
     # ------------------------------------------------------------------
+    # Shard-support surface (consumed by repro.shard)
+    # ------------------------------------------------------------------
+
+    def membership_fragments(self, pids: Iterable[int], trust=None):
+        """Per-core-cell membership fragments of a query batch.
+
+        The cell-keyed decomposition of :meth:`cgroup_by` that the shard
+        router merges across engines; ``trust`` restricts which cells
+        this engine may decide against (memberships toward untrusted
+        cells come back as open probes).  See
+        :meth:`repro.core.framework.GridClusterer.membership_fragments`.
+        Only the grid-based algorithms expose it.
+        """
+        return self._fragment_source("membership_fragments")(pids, trust=trust)
+
+    def gum_edge_fragment(self, trust=None):
+        """This engine's share of the GUM edge set (plus boundary data).
+
+        See :meth:`repro.core.framework.GridClusterer.gum_edge_fragment`.
+        Only the grid-based algorithms expose it.
+        """
+        return self._fragment_source("gum_edge_fragment")(trust=trust)
+
+    def _fragment_source(self, name: str):
+        method = getattr(self._clusterer, name, None)
+        if method is None:
+            raise UnsupportedOperationError(
+                f"{name} needs the grid-based cell registry, which "
+                f"algorithm {self.config.resolved_algorithm!r} does not "
+                f"maintain; configure a semi/full family algorithm"
+            )
+        return method
+
+    # ------------------------------------------------------------------
     # Sessions and lifecycle
     # ------------------------------------------------------------------
 

@@ -22,7 +22,10 @@ with ``rho > 0`` both are legal under the sandwich guarantee
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 # Historical home of these primitives — re-exported so existing callers
 # (and external code) keep working; they dispatch into the active
@@ -39,6 +42,8 @@ Cell = Tuple[int, ...]
 
 __all__ = [
     "Cell",
+    "GumEdgeFragment",
+    "MembershipFragments",
     "any_within",
     "as_point_array",
     "ball_counts",
@@ -47,6 +52,51 @@ __all__ = [
     "SequentialBulkMixin",
     "SequentialQueryMixin",
 ]
+
+
+@dataclass
+class MembershipFragments:
+    """Per-core-cell membership fragments of one resolved query batch.
+
+    The cell-level decomposition of a C-group-by answer, before any
+    connected-component ids are applied: ``fragments[cell]`` lists the
+    queried ids that belong to the cluster of core cell ``cell`` (a core
+    point appears under its own cell; a non-core point under every close
+    core cell holding a witness).  ``unmatched`` lists queried ids with
+    no membership among the cells the resolver was allowed to decide
+    (*noise*, unless a probe later finds a membership), and ``probes``
+    lists ``(pid, cell)`` pairs the resolver deliberately left open
+    because ``cell`` fell outside its trusted region — the cross-shard
+    boundary merge resolves them against the cell owner's core points.
+
+    With an unrestricted resolver (``trust=None``) ``probes`` is empty
+    and the fragments are exactly the grouping a single engine reports,
+    keyed by cell instead of CC id.
+    """
+
+    fragments: Dict[Cell, List[int]] = field(default_factory=dict)
+    unmatched: List[int] = field(default_factory=list)
+    probes: List[Tuple[int, Cell]] = field(default_factory=list)
+
+
+@dataclass
+class GumEdgeFragment:
+    """One resolver's share of the grid-graph (GUM) edge set.
+
+    ``core_cells`` are the trusted core cells (every global core cell is
+    trusted by exactly one shard, so the union over shards is the global
+    GUM vertex set).  ``edges`` hold the witnessed edges between trusted
+    core-cell pairs; ``candidates`` are ``(trusted core cell, untrusted
+    non-empty close cell)`` pairs whose edge decision needs the other
+    side's authoritative core set; ``frontier`` maps each trusted core
+    cell adjacent to untrusted territory to its core-point coordinates
+    (sorted by id) — the raw material of the boundary merge.
+    """
+
+    core_cells: List[Cell] = field(default_factory=list)
+    edges: List[Tuple[Cell, Cell]] = field(default_factory=list)
+    candidates: List[Tuple[Cell, Cell]] = field(default_factory=list)
+    frontier: Dict[Cell, np.ndarray] = field(default_factory=dict)
 
 
 class SequentialBulkMixin:

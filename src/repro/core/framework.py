@@ -13,13 +13,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import chain
-from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
-from repro.core.bulk import SequentialBulkMixin
+from repro.core.bulk import (
+    GumEdgeFragment,
+    MembershipFragments,
+    SequentialBulkMixin,
+)
 from repro.errors import ConfigError, UnknownPointError
-from repro.kernels import as_point_array, bucket_by_cell
+from repro.kernels import any_within, as_point_array, box_sq_dists, bucket_by_cell
 from repro.core.grid import Cell, Grid
 from repro.geometry.points import Point, sq_dist
 
@@ -293,15 +307,56 @@ class GridClusterer(SequentialBulkMixin):
         fragments of one CC id are pairwise disjoint (each id resolves in
         exactly one cell bucket), so the flatten is a plain sort.
         """
+        group_parts, group_pids, noise, _ = self._resolve_memberships(
+            pid_arr, arr
+        )
+        groups = []
+        for cid in group_parts.keys() | group_pids.keys():
+            parts = group_parts.get(cid, [])
+            pids_of_cid = group_pids.get(cid)
+            if pids_of_cid:
+                parts.append(np.asarray(pids_of_cid, dtype=np.int64))
+            merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            groups.append(np.sort(merged).tolist())
+        groups.sort()
+        return CGroupByResult(groups=groups, noise=sorted(noise))
+
+    def _resolve_memberships(
+        self,
+        pid_arr: np.ndarray,
+        arr: np.ndarray,
+        key: Optional[Callable[[Cell], Hashable]] = None,
+        trust: Optional[Callable[[Cell], bool]] = None,
+    ):
+        """The engine behind every batched resolution, keyed by ``key(cell)``.
+
+        With the defaults (``key = self._cc_id`` memoized, ``trust``
+        unrestricted) this is exactly the :meth:`cgroup_by_many` engine.
+        ``key`` maps the core cell granting a membership to the group it
+        is accumulated under (identity yields per-cell fragments for the
+        sharding boundary merge); ``trust`` restricts which cells this
+        resolver may decide against — a close cell failing it is not
+        probed, and every non-core query id of the bucket is emitted as a
+        ``(pid, cell)`` probe for the caller to settle against the cell
+        owner's authoritative core set.  Queried ids always live in
+        trusted cells (the shard router routes each id to its owner).
+
+        Returns ``(group_parts, group_pids, noise, probes)``: id-array
+        fragments and scalar id lists per key, ids with no membership
+        among trusted cells, and the open probes (empty when ``trust`` is
+        None).
+        """
         group_parts: Dict[Hashable, List[np.ndarray]] = {}
         group_pids: Dict[Hashable, List[int]] = {}
         noise: List[int] = []
+        probes: List[Tuple[int, Cell]] = []
         cc_cache: Dict[Cell, Hashable] = {}
+        key_of = self._cc_id if key is None else key
 
         def cc(cell: Cell) -> Hashable:
             cid = cc_cache.get(cell)
             if cid is None:
-                cid = cc_cache[cell] = self._cc_id(cell)
+                cid = cc_cache[cell] = key_of(cell)
             return cid
 
         for cell, idxs in bucket_by_cell(arr, self._grid.side):
@@ -332,6 +387,14 @@ class GridClusterer(SequentialBulkMixin):
             row_of = {pid: k for k, pid in enumerate(cell_pids)}
             cell_coords = arr[idxs]
             for other in sorted(data.neighbors):  # type: ignore[attr-defined]
+                if trust is not None and not trust(other):
+                    # Outside this resolver's authority: its local view
+                    # of the cell's core set may be stale, so leave the
+                    # decision open for every non-core id of the bucket
+                    # (a point may belong to several clusters, so probes
+                    # are emitted regardless of memberships found here).
+                    probes.extend((pid, other) for pid in noncore_q)
+                    continue
                 odata = self._cells[other]
                 if not odata.core:  # type: ignore[attr-defined]
                     continue
@@ -354,16 +417,139 @@ class GridClusterer(SequentialBulkMixin):
                     noise.append(pid)
                 for cid in cids:
                     group_pids.setdefault(cid, []).append(pid)
-        groups = []
-        for cid in group_parts.keys() | group_pids.keys():
-            parts = group_parts.get(cid, [])
-            pids_of_cid = group_pids.get(cid)
-            if pids_of_cid:
-                parts.append(np.asarray(pids_of_cid, dtype=np.int64))
+        return group_parts, group_pids, noise, probes
+
+    # ------------------------------------------------------------------
+    # Shard-support surface: per-cell fragments for the boundary merge
+    # ------------------------------------------------------------------
+
+    def membership_fragments(
+        self,
+        pids: Iterable[int],
+        trust: Optional[Callable[[Cell], bool]] = None,
+    ) -> MembershipFragments:
+        """Resolve queried ids into per-core-cell membership fragments.
+
+        The cell-keyed decomposition of :meth:`cgroup_by_many` — what the
+        shard router merges across engines: group fragments keyed by the
+        core cell granting the membership instead of by CC id, so a
+        boundary merge can apply its *global* connected components to
+        them.  ``trust`` restricts which cells this engine may decide
+        against (see :meth:`_resolve_memberships`); memberships against
+        untrusted cells come back as open probes.  Dead ids raise
+        :class:`repro.errors.UnknownPointError` before anything resolves,
+        exactly like the query paths.
+        """
+        pid_list = list(pids)
+        if not pid_list:
+            return MembershipFragments()
+        pid_arr = np.unique(np.asarray(pid_list, dtype=np.int64))
+        points = self._points
+        try:
+            coords = [points[pid] for pid in pid_arr.tolist()]
+        except KeyError:
+            self._validated_query(pid_list)  # raises with the full dead set
+            raise
+        flat = np.fromiter(
+            chain.from_iterable(coords), dtype=float, count=len(coords) * self.dim
+        )
+        group_parts, group_pids, noise, probes = self._resolve_memberships(
+            pid_arr,
+            flat.reshape(-1, self.dim),
+            key=lambda cell: cell,
+            trust=trust,
+        )
+        fragments: Dict[Cell, List[int]] = {}
+        for cell in group_parts.keys() | group_pids.keys():
+            parts = group_parts.get(cell, [])
+            pids_of_cell = group_pids.get(cell)
+            if pids_of_cell:
+                parts.append(np.asarray(pids_of_cell, dtype=np.int64))
             merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
-            groups.append(np.sort(merged).tolist())
-        groups.sort()
-        return CGroupByResult(groups=groups, noise=sorted(noise))
+            fragments[cell] = np.sort(merged).tolist()
+        return MembershipFragments(
+            fragments=fragments, unmatched=sorted(noise), probes=sorted(probes)
+        )
+
+    def gum_edge_fragment(
+        self, trust: Optional[Callable[[Cell], bool]] = None
+    ) -> GumEdgeFragment:
+        """This engine's share of the GUM edge set, from exact witnesses.
+
+        Recomputes, from the maintained per-cell core sets, every edge
+        between *trusted* close core-cell pairs with one pruned exact
+        witness test per pair — the same ``(1+rho) eps`` threshold the
+        incremental structures maintain, so with ``rho = 0`` the edge set
+        (and hence the component structure) is identical to theirs.
+        Pairs reaching into untrusted territory are returned as
+        candidates together with the trusted frontier's core coordinates;
+        the shard router settles those against the owners' fragments.
+        With ``trust=None`` the fragment simply covers the whole graph.
+        """
+        sq_relaxed = self._sq_relaxed
+        cells = self._cells
+        trusted = (lambda _cell: True) if trust is None else trust
+        core_cells: List[Cell] = sorted(
+            cell
+            for cell, data in cells.items()
+            if data.core and trusted(cell)  # type: ignore[attr-defined]
+        )
+        core_cache: Dict[Cell, np.ndarray] = {}
+
+        def core_coords(cell: Cell) -> np.ndarray:
+            arr = core_cache.get(cell)
+            if arr is None:
+                data = cells[cell]
+                arr = core_cache[cell] = np.array(
+                    [data.points[pid] for pid in sorted(data.core)]  # type: ignore[attr-defined]
+                )
+            return arr
+
+        edges: List[Tuple[Cell, Cell]] = []
+        candidates: List[Tuple[Cell, Cell]] = []
+        frontier: Dict[Cell, np.ndarray] = {}
+        for cell in core_cells:
+            data = cells[cell]
+            cell_lo, cell_hi = (np.array(b) for b in self._grid.cell_box(cell))
+            borders_untrusted = False
+            for other in sorted(data.neighbors):  # type: ignore[attr-defined]
+                if not trusted(other):
+                    borders_untrusted = True
+                    candidates.append((cell, other))
+                    continue
+                if other <= cell:
+                    continue  # each trusted pair decided once
+                odata = cells[other]
+                if not odata.core:  # type: ignore[attr-defined]
+                    continue
+                # Witness pairs must sit within the threshold of the
+                # opposite cell's box; pruning by that bound leaves the
+                # outcome unchanged but skips most near-misses.
+                mine = core_coords(cell)
+                near_mine = mine[
+                    box_sq_dists(
+                        mine, *(np.array(b) for b in self._grid.cell_box(other))
+                    )
+                    <= sq_relaxed
+                ]
+                if not len(near_mine):
+                    continue
+                theirs = core_coords(other)
+                near_theirs = theirs[
+                    box_sq_dists(theirs, cell_lo, cell_hi) <= sq_relaxed
+                ]
+                if len(near_theirs) and any_within(
+                    near_mine, near_theirs, sq_relaxed
+                ):
+                    edges.append((cell, other))
+            if borders_untrusted:
+                frontier[cell] = core_coords(cell)
+        return GumEdgeFragment(
+            core_cells=core_cells,
+            edges=edges,
+            candidates=candidates,
+            frontier=frontier,
+        )
 
     def cgroup_by_sequential(self, pids: Iterable[int]) -> CGroupByResult:
         """Point-at-a-time C-group-by — the scalar reference path.

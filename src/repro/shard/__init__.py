@@ -1,0 +1,46 @@
+"""repro.shard — horizontal scale-out behind the ``repro.api`` surface.
+
+A sharded deployment partitions the cell registry across N per-shard
+:class:`repro.api.Engine` instances by a deterministic hash of cell
+ownership blocks, replicates halo cells so every shard computes exact
+core status for what it owns, and merges per-shard GUM edge fragments
+and per-cell query fragments at the boundary — at ``rho = 0`` the
+merged results are bit-identical to a single engine's (proven by the
+randomized differential harness in ``tests/test_shard_equivalence.py``).
+
+Open one through the front door with the ``shards`` knob::
+
+    import repro.api
+
+    engine = repro.api.open(
+        algorithm="full", eps=3.0, minpts=5, dim=2,
+        shards=4, shard_executor="process",
+    )
+    pids = engine.ingest(points)        # routed + halo-replicated
+    outcome = engine.cgroup_by(pids)    # merged, epoch-stamped
+
+Layering: :class:`ShardTopology` (pure ownership/halo geometry) →
+:class:`ShardBackend` (one engine behind its trust predicate) →
+executors (in-process serial, or one worker process per shard) →
+:class:`ShardRouter` (global id space, routing, boundary merge) →
+:class:`ShardedEngine` (the ``repro.api``-shaped facade).
+"""
+
+from __future__ import annotations
+
+from repro.shard.backend import ShardBackend
+from repro.shard.engine import SHARD_EXECUTOR_CHOICES, ShardedEngine, ShardedStats
+from repro.shard.executors import ProcessShardExecutor, SerialShardExecutor
+from repro.shard.router import ShardRouter
+from repro.shard.topology import ShardTopology
+
+__all__ = [
+    "SHARD_EXECUTOR_CHOICES",
+    "ProcessShardExecutor",
+    "SerialShardExecutor",
+    "ShardBackend",
+    "ShardRouter",
+    "ShardTopology",
+    "ShardedEngine",
+    "ShardedStats",
+]

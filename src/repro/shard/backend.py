@@ -1,0 +1,106 @@
+"""One shard of a sharded deployment: an engine plus its trust boundary.
+
+A :class:`ShardBackend` wraps one ordinary :class:`repro.api.Engine`
+over this shard's slice of the data — every point of every cell whose
+ownership block hashed here, plus halo replicas of foreign cells within
+the grid's closeness reach (see :mod:`repro.shard.topology`).  Because
+the halo completes the neighborhoods of all owned cells, the engine's
+core-status decisions (and emptiness structures) for *owned* cells are
+exactly what a single global engine computes; its view of halo cells is
+advisory only.  Accordingly, every resolution the backend reports is
+restricted by the ownership predicate, and anything touching foreign
+territory comes back as probes/candidates for the router's boundary
+merge.
+
+The backend is the unit the executors move across process boundaries:
+it is constructed from ``(config, shard_index, shard_count)`` alone and
+all its method arguments and results are plain picklable data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.api.config import EngineConfig
+from repro.api.engine import Engine
+from repro.core.bulk import GumEdgeFragment, MembershipFragments
+from repro.shard.topology import ShardTopology
+
+
+class ShardBackend:
+    """One per-shard engine behind the ownership trust predicate."""
+
+    def __init__(
+        self, config: EngineConfig, shard_index: int, shard_count: int
+    ) -> None:
+        # The per-shard engine is an ordinary single engine: strip the
+        # sharding knobs so construction cannot recurse.
+        self.config = config.replace(
+            shards=None, shard_block=None, shard_executor=None
+        )
+        self.index = shard_index
+        self.topology = ShardTopology(
+            eps=config.eps,
+            dim=config.dim,
+            rho=config.effective_rho,
+            shard_count=shard_count,
+            block=config.resolved_shard_block,
+        )
+        self._trust = self.topology.trust(shard_index)
+        self.engine = Engine.open(self.config)
+
+    # ------------------------------------------------------------------
+    # Updates (local ids; the router owns the global id space)
+    # ------------------------------------------------------------------
+
+    def ingest(self, points: Sequence[Sequence[float]]) -> List[int]:
+        """Bulk-insert this shard's slice of a batch; returns local ids."""
+        return self.engine.ingest(points)
+
+    def delete_many(self, local_pids: Sequence[int]) -> None:
+        """Bulk-delete by local ids (router pre-validated the batch)."""
+        self.engine.delete_many(local_pids)
+
+    # ------------------------------------------------------------------
+    # Merge inputs
+    # ------------------------------------------------------------------
+
+    def merge_state(
+        self, local_pids: Optional[Sequence[int]]
+    ) -> Tuple[Optional[MembershipFragments], GumEdgeFragment, int]:
+        """Everything the router needs from this shard for one merge.
+
+        Membership fragments for the queried local ids (``None`` when the
+        query touches no point owned here), this shard's GUM edge
+        fragment over its owned core cells, and the engine epoch — the
+        consistency token the router checks against the update count it
+        routed here, so a merge can never silently combine shards at
+        different dataset versions.
+        """
+        fragments = (
+            self.engine.membership_fragments(local_pids, trust=self._trust)
+            if local_pids is not None
+            else None
+        )
+        return fragments, self.engine.gum_edge_fragment(trust=self._trust), self.epoch()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def epoch(self) -> int:
+        return self.engine.epoch
+
+    def size(self) -> int:
+        """Live points held by this shard (owned plus halo replicas)."""
+        return len(self.engine)
+
+    def is_core(self, local_pid: int) -> bool:
+        return self.engine.is_core(local_pid)
+
+    def stats(self):
+        return self.engine.stats()
+
+    def ping(self) -> int:
+        """Liveness probe (also used to warm worker processes)."""
+        return self.index

@@ -1,0 +1,175 @@
+"""Shard executors: where the per-shard backends actually live.
+
+The router never talks to a :class:`repro.shard.backend.ShardBackend`
+directly; it issues ``(method, args)`` calls through an executor, so
+single-process and multi-process deployments share one routing and one
+merge path:
+
+* :class:`SerialShardExecutor` holds the backends in-process and runs
+  calls inline — deterministic, debuggable, zero transport cost; the
+  default, and what the differential-testing harness drives.
+* :class:`ProcessShardExecutor` hosts one backend per worker process
+  behind a pipe, overlapping the per-shard work of every fan-out
+  (:meth:`map` writes all requests before reading any reply).  Workers
+  rebuild their backend from ``(config, index, count)``, so nothing but
+  plain data ever crosses the pipe.
+
+Exceptions raised inside a backend propagate to the caller unchanged
+(they pickle cleanly — the unified error model is message-based); a
+dead worker surfaces as :class:`repro.errors.ReproError` rather than a
+hang.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.api.config import EngineConfig
+from repro.errors import ReproError
+from repro.shard.backend import ShardBackend
+
+#: One fan-out request: ``(method name, argument tuple)`` or ``None``
+#: for "this shard sits the round out".
+Call = Optional[Tuple[str, Tuple[Any, ...]]]
+
+
+class SerialShardExecutor:
+    """All shard backends in the calling process, called inline."""
+
+    def __init__(self, config: EngineConfig, shard_count: int) -> None:
+        self.shard_count = shard_count
+        self._backends = [
+            ShardBackend(config, index, shard_count)
+            for index in range(shard_count)
+        ]
+
+    def call(self, shard_index: int, method: str, *args) -> Any:
+        return getattr(self._backends[shard_index], method)(*args)
+
+    def map(self, calls: Sequence[Call]) -> List[Any]:
+        """One result (or ``None``) per shard, in shard order."""
+        return [
+            None if call is None else self.call(index, call[0], *call[1])
+            for index, call in enumerate(calls)
+        ]
+
+    def close(self) -> None:
+        self._backends = []
+
+
+def _shard_worker(conn, config: EngineConfig, index: int, count: int) -> None:
+    """Worker loop: build the backend, then serve calls until ``None``."""
+    backend = ShardBackend(config, index, count)
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        method, args = message
+        try:
+            conn.send(("ok", getattr(backend, method)(*args)))
+        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+            conn.send(("error", exc))
+    conn.close()
+
+
+class ProcessShardExecutor:
+    """One dedicated worker process per shard, fan-outs overlapped."""
+
+    def __init__(self, config: EngineConfig, shard_count: int) -> None:
+        self.shard_count = shard_count
+        ctx = mp.get_context()
+        self._conns = []
+        self._procs = []
+        for index in range(shard_count):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child, config, index, shard_count),
+                daemon=True,
+                name=f"repro-shard-{index}",
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        self._closed = False
+        atexit.register(self.close)
+        # Fail construction fast (bad config, import error in a worker)
+        # instead of on the first routed batch.
+        self.map([("ping", ())] * shard_count)
+
+    def _send(self, shard_index: int, method: str, args: Tuple) -> None:
+        try:
+            self._conns[shard_index].send((method, args))
+        except (BrokenPipeError, OSError) as exc:
+            raise ReproError(
+                f"shard worker {shard_index} is gone (pipe closed); "
+                f"the sharded engine cannot continue"
+            ) from exc
+
+    def _recv(self, shard_index: int) -> Any:
+        try:
+            status, payload = self._conns[shard_index].recv()
+        except EOFError as exc:
+            raise ReproError(
+                f"shard worker {shard_index} died mid-call; "
+                f"the sharded engine cannot continue"
+            ) from exc
+        if status == "error":
+            raise payload
+        return payload
+
+    def call(self, shard_index: int, method: str, *args) -> Any:
+        self._send(shard_index, method, args)
+        return self._recv(shard_index)
+
+    def map(self, calls: Sequence[Call]) -> List[Any]:
+        """One result (or ``None``) per shard, all shards in flight at once."""
+        involved = []
+        for index, call in enumerate(calls):
+            if call is not None:
+                self._send(index, call[0], call[1])
+                involved.append(index)
+        results: List[Any] = [None] * len(calls)
+        failure: Optional[BaseException] = None
+        for index in involved:
+            # Always drain every reply, even after a failure: leaving a
+            # response in a pipe would desynchronize the next round.
+            try:
+                results[index] = self._recv(index)
+            except BaseException as exc:  # noqa: BLE001
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+        return results
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Drop the atexit reference so closed executors can be GC'd in
+        # long-lived processes that open many sharded engines.
+        atexit.unregister(self.close)
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - watchdog path
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

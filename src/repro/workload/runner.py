@@ -97,14 +97,17 @@ class RunResult:
     comparable number-for-number.
 
     ``backend`` records which kernel backend (:mod:`repro.kernels`)
-    produced the run, so benchmark files and reports can attribute
-    numbers to the compute substrate that generated them.
+    produced the run and ``shards`` how many engine shards served it
+    (1 for a single engine), so benchmark files and reports can
+    attribute numbers to the compute substrate and deployment shape
+    that generated them.
     """
 
     op_kinds: List[str] = field(default_factory=list)
     op_costs: List[float] = field(default_factory=list)
     op_sizes: List[int] = field(default_factory=list)
     backend: str = ""
+    shards: int = 1
 
     def _sizes(self) -> List[int]:
         # Hand-built results may omit sizes; treat every entry as 1 op.
@@ -310,5 +313,8 @@ def run_workload_engine(
     """
     batch_size = engine.config.batch_size
     if batch_size:
-        return run_workload_batched(engine, workload, batch_size, max_ops)
-    return run_workload(engine, workload, max_ops)
+        result = run_workload_batched(engine, workload, batch_size, max_ops)
+    else:
+        result = run_workload(engine, workload, max_ops)
+    result.shards = engine.config.shards or 1
+    return result

@@ -16,6 +16,8 @@ import repro.errors
 EXPECTED_API_ALL = [
     "ALGORITHM_CHOICES",
     "DEFAULT_FLUSH_THRESHOLD",
+    "DEFAULT_SHARD_BLOCK",
+    "SHARD_EXECUTOR_CHOICES",
     "ConfigError",
     "Engine",
     "EngineConfig",
@@ -24,6 +26,8 @@ EXPECTED_API_ALL = [
     "InvalidQueryError",
     "QueryOutcome",
     "ReproError",
+    "ShardedEngine",
+    "ShardedStats",
     "Snapshot",
     "UnknownPointError",
     "UnsupportedOperationError",
@@ -49,6 +53,8 @@ EXPECTED_REPRO_ALL = [
     "ReproError",
     "RunResult",
     "SemiDynamicClusterer",
+    "ShardedEngine",
+    "ShardedStats",
     "Snapshot",
     "StaticClustering",
     "UnknownPointError",

@@ -3,17 +3,33 @@
 Not a paper figure: this benchmark records what horizontal scale-out
 buys on the paper's own data distribution.  A 2d seed-spreader stream
 of ``REPRO_BENCH_N`` points (default 50000) is ingested in chunks
-through sharded deployments of 1, 2 and 4 shards under both executors;
-the headline comparison is 4 shards on the process-pool executor
-against 1 shard on the same executor — real parallelism minus the halo
-replication and transport costs, through the identical routing and
-merge path.
+through sharded deployments of 1, 2 and 4 shards — the serial executor
+(pure routing + replication overhead) and the process executor under
+**both** transports, ``pickle`` (whole messages through the pipe) and
+``shm`` (bulk arrays through pooled shared memory).  Every scenario is
+timed best-of-``REPEATS``: one-shot numbers on shared-host machines mix
+the code's cost with the host's steal-time epochs, and it is the code
+we are benchmarking.
 
-The >= 1.5x scaling floor only arms on machines that can actually run
-four shard workers in parallel (``os.cpu_count() >= 4``) at full scale
-(N >= 20000); smaller or narrower runs record their numbers and assert
-only that the path is not degenerate.  Clustering equivalence is
-asserted separately (and exhaustively) in
+Two regression tripwires guard the transport, sized to what the machine
+can physically show:
+
+* **Transport tax** (no cpu gate — meaningful even on a 1-cpu
+  container): 4 process shards under ``shm`` may cost at most
+  ``MAX_TRANSPORT_TAX`` times 4 *serial* shards — same routing, same
+  engines, same compute, so the ratio is purely what crossing the
+  process boundary costs.  The pickle transport intermittently blows
+  this up several-fold (160KB messages through 64KB pipes, blocking
+  writes ping-ponging across time-sliced workers — the negative-scaling
+  bug); the shm payload plane holds it near 1x.
+* **Parallel scaling** (needs >= 2 cpus for 4 shards to overlap at
+  all): ``shm`` 4-shard ingest must be >= 1.0x 1-shard from
+  ``TRIPWIRE_N`` up, and >= 1.5x from ``ASSERT_FLOOR_N`` up on >= 4
+  cpus.  On a single cpu the same-transport ratio is bounded by halo
+  replication plus scheduler latency (~0.9x is the physical ceiling),
+  so there the transport-tax tripwire is the binding one.
+
+Clustering equivalence is asserted separately (and exhaustively) in
 ``tests/test_shard_equivalence.py``.
 
 Results are written to benchmarks/results/shard_throughput.txt.
@@ -21,6 +37,7 @@ Results are written to benchmarks/results/shard_throughput.txt.
 
 from __future__ import annotations
 
+import gc
 import os
 import time
 
@@ -36,18 +53,26 @@ EPS = eps_for(DIM)
 #: Ingest chunk size: several fan-outs per run, like a buffered
 #: ingest-session stream, rather than one monolithic batch.
 CHUNK = 10000
-#: Ownership block side (cells per axis).  Larger than the default 16:
-#: at 50k points the dataset still spans dozens of blocks per axis,
-#: and the halo-replication factor drops to ~1.3x.
-SHARD_BLOCK = 32
+#: Ownership block side (cells per axis).  Large enough that halo
+#: replication is ~0.5% at 50k points — so the executor comparisons
+#: measure transport cost, not replicated engine work.
+SHARD_BLOCK = 128
+#: Timed repetitions per scenario; the best is recorded.
+REPEATS = 2
 
-ASSERT_FLOOR_N = 20000
+#: The multi-core >= 1.5x floor arms from here up (needs cpus >= 4).
+ASSERT_FLOOR_N = 10000
+#: The scaling tripwires arm from here up.
+TRIPWIRE_N = 20000
+#: Ceiling on process-x4 (shm) wall vs serial-x4 wall — the pure cost
+#: of the process boundary under the zero-copy transport.
+MAX_TRANSPORT_TAX = 1.6
 CPUS = os.cpu_count() or 1
 
 _collected = {}
 
 
-def _ingest_run(shards: int, executor: str):
+def _one_run(shards: int, executor: str, transport: str | None) -> float:
     points = seed_spreader(N, DIM, seed=42)
     engine = repro.api.open(
         algorithm="semi",
@@ -58,8 +83,12 @@ def _ingest_run(shards: int, executor: str):
         shards=shards,
         shard_block=SHARD_BLOCK,
         shard_executor=executor,
+        shard_transport=transport,
     )
     try:
+        # Pending collector debt from earlier runs must not be paid
+        # inside someone else's timing window.
+        gc.collect()
         start = time.perf_counter()
         for lo in range(0, len(points), CHUNK):
             engine.ingest(points[lo : lo + CHUNK])
@@ -69,7 +98,17 @@ def _ingest_run(shards: int, executor: str):
         replication = stats.replicas / stats.points if stats.points else 0.0
     finally:
         engine.close()
+    return elapsed, replication
+
+
+def _ingest_run(shards: int, executor: str, transport: str | None = None):
+    elapsed, replication = min(
+        (_one_run(shards, executor, transport) for _ in range(REPEATS)),
+        key=lambda pair: pair[0],
+    )
     label = f"{executor} x{shards}"
+    if transport is not None:
+        label += f" ({transport})"
     _collected[label] = (N, elapsed, N / elapsed if elapsed else 0.0, replication)
     return elapsed
 
@@ -85,22 +124,57 @@ def test_serial_executor_scaling_overhead():
     )
 
 
-def test_process_pool_ingest_scaling():
-    """The headline: 4 process-pool shards vs 1, same routing and merge."""
-    t1 = _ingest_run(1, "process")
-    _ingest_run(2, "process")
-    t4 = _ingest_run(4, "process")
+def _process_scaling(transport: str) -> float:
+    t1 = _ingest_run(1, "process", transport)
+    _ingest_run(2, "process", transport)
+    t4 = _ingest_run(4, "process", transport)
     speedup = t1 / t4 if t4 > 0 else float("inf")
-    _collected["process x4 vs x1"] = (N, t1, t4, speedup)
+    _collected[f"speedup: x4 over x1 ({transport})"] = (N, t1, t4, speedup)
+    serial4 = _collected.get("serial x4")
+    if serial4 is not None:
+        tax = t4 / serial4[1] if serial4[1] else float("inf")
+        _collected[f"transport tax: x4 over serial x4 ({transport})"] = (
+            N, serial4[1], t4, tax,
+        )
+    return speedup
+
+
+def test_process_pool_ingest_scaling_pickle():
+    """The PR 5 baseline transport, kept measured for the comparison."""
+    speedup = _process_scaling("pickle")
+    # Pickling every batch both ways historically costs more than four
+    # single-core shards recover; only guard against degeneration here.
+    assert speedup > 0.2, f"pickle-transport ingest degenerated: {speedup:.2f}x"
+
+
+def test_process_pool_ingest_scaling_shm():
+    """The headline: 4 shm-transport shards vs 1, same routing and merge."""
+    speedup = _process_scaling("shm")
+    tax_entry = _collected.get("transport tax: x4 over serial x4 (shm)")
+    if N >= TRIPWIRE_N and tax_entry is not None:
+        # No cpu gate: the process boundary may cost scheduling, never
+        # payload serialization.  This is the tripwire that catches the
+        # negative-scaling bug class even on a 1-cpu container, where
+        # parallel speedups are physically impossible to observe.
+        tax = tax_entry[3]
+        assert tax <= MAX_TRANSPORT_TAX, (
+            f"shm transport tax regressed: process x4 ran {tax:.2f}x the "
+            f"wall of serial x4 at N={N} (allowed <= {MAX_TRANSPORT_TAX}x) "
+            f"— the transport is eating the scale-out again"
+        )
+    if N >= TRIPWIRE_N and CPUS >= 2:
+        # With real parallelism available, scaling 1 -> 4 shards must
+        # never lose throughput.
+        assert speedup >= 1.0, (
+            f"4-shard shm-transport ingest ran slower than 1-shard at "
+            f"N={N} on {CPUS} cpus: {speedup:.2f}x"
+        )
     if N >= ASSERT_FLOOR_N and CPUS >= 4:
         assert speedup >= 1.5, (
-            f"4-shard process-pool ingest must be >= 1.5x a 1-shard "
-            f"deployment at N={N} on {CPUS} cpus, got {speedup:.2f}x "
-            f"({t1:.3f}s vs {t4:.3f}s)"
+            f"4-shard process ingest (shm) must be >= 1.5x a 1-shard "
+            f"deployment at N={N} on {CPUS} cpus, got {speedup:.2f}x"
         )
-    else:
-        # Not enough cores (or too small a run) for the floor to be
-        # meaningful; just guard against a degenerate routing path.
+    if N < TRIPWIRE_N:
         assert speedup > 0.2, f"sharded ingest degenerated: {speedup:.2f}x"
 
 
@@ -108,22 +182,29 @@ def test_zz_write_results():
     """Runs last (name-ordered): dump the collected series."""
     lines = ["scenario\tn\tingest_s\tpoints_per_s\treplication"]
     for name, (n, elapsed, rate, repl) in _collected.items():
-        if name.endswith("vs x1"):
+        if "over" in name:
             continue
         lines.append(f"{name}\t{n}\t{elapsed:.4f}\t{rate:.0f}\t{repl:.3f}")
-    headline = _collected.get("process x4 vs x1")
-    speed_lines = ["comparison\tn\tbaseline_s\tsharded_s\tspeedup"]
-    if headline is not None:
-        n, t1, t4, speedup = headline
-        speed_lines.append(
-            f"process x4 vs x1\t{n}\t{t1:.4f}\t{t4:.4f}\t{speedup:.2f}"
-        )
+    # speedup rows read reference/x4 (higher is better); tax rows read
+    # x4/reference (lower is better) — the row names say which.
+    speed_lines = ["comparison\tn\treference_s\tprocess_x4_s\tratio"]
+    for transport in ("pickle", "shm"):
+        for kind in (f"speedup: x4 over x1 ({transport})",
+                     f"transport tax: x4 over serial x4 ({transport})"):
+            entry = _collected.get(kind)
+            if entry is not None:
+                n, base, cont, ratio = entry
+                speed_lines.append(
+                    f"{kind}\t{n}\t{base:.4f}\t{cont:.4f}\t{ratio:.2f}"
+                )
     write_results(
         "shard_throughput.txt",
         f"Sharded ingest throughput: d={DIM}, eps={EPS}, MinPts={MINPTS}, "
         f"rho=0, semi family, chunk={CHUNK}, shard_block={SHARD_BLOCK}, "
-        f"cpus={CPUS}, seed-spreader data "
-        f"(scaling floor arms at N>={ASSERT_FLOOR_N} and cpus>=4)",
+        f"best of {REPEATS}, cpus={CPUS}, seed-spreader data (shm "
+        f"transport-tax tripwire <= {MAX_TRANSPORT_TAX}x at N>={TRIPWIRE_N}; "
+        f">=1.0x scaling at cpus>=2; >=1.5x floor at N>={ASSERT_FLOOR_N} "
+        f"and cpus>=4)",
         [lines, speed_lines],
     )
     assert _collected, "no measurements collected"

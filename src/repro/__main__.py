@@ -19,7 +19,12 @@ from typing import List
 import repro.api
 from repro import kernels
 from repro.api import EngineConfig
-from repro.api.config import ALGORITHM_CHOICES, UNSHARDEABLE_ALGORITHMS
+from repro.api.config import (
+    ALGORITHM_CHOICES,
+    SHARD_TRANSPORT_CHOICES,
+    UNSHARDEABLE_ALGORITHMS,
+)
+from repro.errors import ConfigError
 from repro.workload.config import MINPTS, RHO, backend_name, eps_for
 from repro.workload.runner import run_workload_engine
 from repro.workload.seed_spreader import seed_spreader
@@ -36,6 +41,7 @@ def _engine_for(
     batch_size: int | None,
     shards: int | None = None,
     shard_executor: str | None = None,
+    shard_transport: str | None = None,
 ):
     """One benchmark engine: the CLI's bench path runs through repro.api."""
     # Exact and rho-free algorithms ignore --rho (matching the historical
@@ -54,6 +60,7 @@ def _engine_for(
         batch_size=batch_size,
         shards=shards,
         shard_executor=shard_executor if shards else None,
+        shard_transport=shard_transport if shards else None,
     )
     return repro.api.open(config)
 
@@ -89,6 +96,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 2
     kernels.use_backend(args.backend)
     eps = args.eps if args.eps is not None else eps_for(args.dim, args.eps_per_d)
+    # Resolve the shard transport once, up front, through the same config
+    # validation the engines will use — so a contradictory combination
+    # (e.g. --shard-transport with the serial executor) fails before any
+    # workload is generated, with the config's own message.
+    shard_transport = None
+    if args.shards:
+        try:
+            probe = EngineConfig(
+                eps=eps,
+                minpts=args.minpts,
+                dim=args.dim,
+                shards=args.shards,
+                shard_executor=args.shard_executor,
+                shard_transport=args.shard_transport,
+            )
+        except ConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        shard_transport = probe.resolved_shard_transport
     insert_fraction = 1.0 if args.semi else args.insert_fraction
     workload = generate_workload(
         args.n,
@@ -112,6 +138,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         },
         "backend": kernels.active_backend_name(),
         "shards": args.shards or 1,
+        "transport": shard_transport,
         "algorithms": [],
     }
     if as_text:
@@ -121,7 +148,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             else ""
         )
         shard_note = (
-            f", sharded ({args.shards} shards, {args.shard_executor} executor)"
+            f", sharded ({args.shards} shards, {args.shard_executor} "
+            f"executor, {shard_transport} transport)"
             if args.shards
             else ""
         )
@@ -154,6 +182,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             args.batch_size,
             args.shards,
             args.shard_executor,
+            args.shard_transport,
         )
         result = run_workload_engine(engine, workload)
         queries = result.query_costs()
@@ -179,6 +208,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "epoch": engine.epoch,
             "backend": result.backend,
             "shards": result.shards,
+            "transport": result.transport,
             "config": engine.config.as_dict(),
         }
         if args.shards:
@@ -287,6 +317,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="where shard engines live: in-process (serial) or one "
         "worker process per shard (process); only meaningful with "
         "--shards",
+    )
+    bench.add_argument(
+        "--shard-transport",
+        choices=SHARD_TRANSPORT_CHOICES,
+        default=None,
+        help="process-executor payload plane: pickle whole messages "
+        "through the pipe, or move bulk arrays through pooled shared "
+        "memory (default: REPRO_SHARD_TRANSPORT or shm); only "
+        "meaningful with --shards --shard-executor process",
     )
     bench.add_argument(
         "--format",

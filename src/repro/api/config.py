@@ -13,11 +13,18 @@ through this class a bad knob can never get that far.
 from __future__ import annotations
 
 import math
+import multiprocessing
+import os
 from dataclasses import dataclass, fields, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro import kernels
 from repro.errors import ConfigError
+
+
+def _available_start_methods() -> Tuple[str, ...]:
+    """Start methods this platform supports (fork is POSIX-only)."""
+    return tuple(multiprocessing.get_all_start_methods())
 
 #: Canonical algorithm names (the paper's Section 8 line-up, matching
 #: the CLI choices) plus the two family aliases ``semi`` / ``full``,
@@ -48,6 +55,26 @@ DEFAULT_FLUSH_THRESHOLD = 4096
 #: in-process and called inline, or one worker process per shard.
 SHARD_EXECUTOR_CHOICES = ("serial", "process")
 
+#: Transports of the ``process`` shard executor (see
+#: :mod:`repro.shard.transport`): ``pickle`` ships whole call messages
+#: through the worker pipes, ``shm`` pickles only control metadata and
+#: moves bulk numpy payloads through pooled shared-memory segments
+#: (zero-copy on the receiving side).  Unset means *auto*: ``shm``
+#: whenever the process executor runs (overridable via the
+#: ``REPRO_SHARD_TRANSPORT`` environment variable); the serial executor
+#: calls backends inline and reports the pseudo-transport ``inline``.
+SHARD_TRANSPORT_CHOICES = ("pickle", "shm")
+
+#: Start methods a process-executor deployment may pin.  The default is
+#: ``spawn``: workers rebuild every backend from ``(config, index,
+#: count)`` in a fresh interpreter, so nothing of the parent's
+#: kernel-registry or jit state is inherited (under ``fork`` a worker
+#: silently starts from a snapshot of the parent).  Overridable via the
+#: ``REPRO_SHARD_START_METHOD`` environment variable.
+SHARD_START_METHOD_CHOICES = ("fork", "spawn", "forkserver")
+
+DEFAULT_SHARD_START_METHOD = "spawn"
+
 #: Default cell-ownership block side (in cells per axis) of a sharded
 #: deployment.  Larger blocks shrink the halo-replication factor
 #: (fewer points near a foreign boundary) but leave fewer blocks to
@@ -75,9 +102,11 @@ class EngineConfig:
     ``DEFAULT_FLUSH_THRESHOLD`` buffered updates, and a single engine
     (no ``shards``).  Setting ``shards`` makes :func:`repro.api.open`
     build a :class:`repro.shard.ShardedEngine` instead; ``shard_block``
-    (ownership block side, in cells per axis) and ``shard_executor``
-    (``serial`` / ``process``) tune the deployment and require
-    ``shards``.
+    (ownership block side, in cells per axis), ``shard_executor``
+    (``serial`` / ``process``), ``shard_transport`` (``pickle`` /
+    ``shm``; process executor only, default auto → ``shm``) and
+    ``shard_start_method`` (``fork`` / ``spawn`` / ``forkserver``,
+    default ``spawn``) tune the deployment and require ``shards``.
 
     ``algorithm`` accepts the canonical Section 8 names
     (``semi-exact``, ``semi-approx``, ``full-exact``, ``double-approx``,
@@ -102,6 +131,8 @@ class EngineConfig:
     shards: Optional[int] = None
     shard_block: Optional[int] = None
     shard_executor: Optional[str] = None
+    shard_transport: Optional[str] = None
+    shard_start_method: Optional[str] = None
 
     def __post_init__(self) -> None:
         algorithm = self.algorithm
@@ -208,6 +239,41 @@ class EngineConfig:
                     f"unknown shard_executor {self.shard_executor!r}; "
                     f"choices: {', '.join(SHARD_EXECUTOR_CHOICES)}"
                 )
+        if self.shard_transport is not None:
+            if self.shards is None:
+                raise ConfigError(
+                    f"shard_transport={self.shard_transport!r} requires "
+                    f"shards to be set"
+                )
+            if self.shard_transport not in SHARD_TRANSPORT_CHOICES:
+                raise ConfigError(
+                    f"unknown shard_transport {self.shard_transport!r}; "
+                    f"choices: {', '.join(SHARD_TRANSPORT_CHOICES)}"
+                )
+            if self.resolved_shard_executor != "process":
+                raise ConfigError(
+                    f"shard_transport={self.shard_transport!r} requires "
+                    f"shard_executor='process'; the serial executor calls "
+                    f"backends inline and has no transport"
+                )
+        if self.shard_start_method is not None:
+            if self.shards is None:
+                raise ConfigError(
+                    f"shard_start_method={self.shard_start_method!r} "
+                    f"requires shards to be set"
+                )
+            if self.shard_start_method not in SHARD_START_METHOD_CHOICES:
+                raise ConfigError(
+                    f"unknown shard_start_method "
+                    f"{self.shard_start_method!r}; choices: "
+                    f"{', '.join(SHARD_START_METHOD_CHOICES)}"
+                )
+            if self.shard_start_method not in _available_start_methods():
+                raise ConfigError(
+                    f"shard_start_method {self.shard_start_method!r} is "
+                    f"not available on this platform; available: "
+                    f"{', '.join(_available_start_methods())}"
+                )
 
     # ------------------------------------------------------------------
     # Derived views
@@ -246,6 +312,52 @@ class EngineConfig:
         return (
             self.shard_executor if self.shard_executor is not None else "serial"
         )
+
+    @property
+    def resolved_shard_transport(self) -> str:
+        """The transport the deployment's executor actually moves calls on.
+
+        ``inline`` for the serial executor (backends are called
+        in-process; nothing is transported).  For the process executor:
+        the explicit ``shard_transport`` knob if set, else the
+        ``REPRO_SHARD_TRANSPORT`` environment variable, else ``shm``.
+        """
+        if self.resolved_shard_executor != "process":
+            return "inline"
+        if self.shard_transport is not None:
+            return self.shard_transport
+        env = os.environ.get("REPRO_SHARD_TRANSPORT")
+        if env:
+            if env not in SHARD_TRANSPORT_CHOICES:
+                raise ConfigError(
+                    f"REPRO_SHARD_TRANSPORT={env!r} is not a valid shard "
+                    f"transport; choices: {', '.join(SHARD_TRANSPORT_CHOICES)}"
+                )
+            return env
+        return "shm"
+
+    @property
+    def resolved_shard_start_method(self) -> str:
+        """The multiprocessing start method the process executor pins.
+
+        The explicit ``shard_start_method`` knob if set, else the
+        ``REPRO_SHARD_START_METHOD`` environment variable, else
+        ``spawn`` — never the ambient platform default, which on POSIX
+        is ``fork`` and silently hands every worker a snapshot of the
+        parent's kernel-registry/jit state.
+        """
+        if self.shard_start_method is not None:
+            return self.shard_start_method
+        env = os.environ.get("REPRO_SHARD_START_METHOD")
+        if env:
+            if env not in _available_start_methods():
+                raise ConfigError(
+                    f"REPRO_SHARD_START_METHOD={env!r} is not an available "
+                    f"start method; available: "
+                    f"{', '.join(_available_start_methods())}"
+                )
+            return env
+        return DEFAULT_SHARD_START_METHOD
 
     def replace(self, **changes) -> "EngineConfig":
         """A new validated config with the given fields replaced."""

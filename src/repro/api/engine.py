@@ -111,6 +111,7 @@ class Engine:
         self._clusterer = clusterer
         self._backend = backend
         self._epoch = 0
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -319,6 +320,25 @@ class Engine:
         from repro.api.session import IngestSession
 
         return IngestSession(self, flush_threshold=flush_threshold)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released this engine."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the engine's structures; idempotent.
+
+        Long-lived services (and the shard executors, which host one
+        engine per shard) call this to drop the clusterer's buffers and
+        index structures deterministically instead of waiting for GC.
+        Using a closed engine is undefined; ``close`` may be called any
+        number of times.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._clusterer = None
 
     def __enter__(self) -> "Engine":
         return self

@@ -14,17 +14,49 @@ merge.
 
 The backend is the unit the executors move across process boundaries:
 it is constructed from ``(config, shard_index, shard_count)`` alone and
-all its method arguments and results are plain picklable data.
+all its method arguments and results are plain data.  Bulk payloads —
+point batches, id arrays, the fragment frontiers — are numpy arrays,
+and :data:`BULK_CALLS` declares exactly which calls carry them, so the
+shared-memory transport (:mod:`repro.shard.transport`) frames them
+without guessing and the pickle transport ships them as array buffers
+rather than per-element python objects.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.api.config import EngineConfig
 from repro.api.engine import Engine
 from repro.core.bulk import GumEdgeFragment, MembershipFragments
+from repro.errors import ReproError
 from repro.shard.topology import ShardTopology
+from repro.shard.transport import BulkSpec
+
+#: The transport contract of the executor call surface: which calls
+#: carry bulk numpy payloads, and where.  ``ingest`` takes an ``(n,
+#: dim)`` float64 point batch and returns an int64 local-id array;
+#: ``delete_many`` takes an int64 local-id array; ``merge_state`` takes
+#: an optional int64 local-id array and returns fragments whose
+#: frontier coordinate arrays are the bulk of every merge.  Everything
+#: else (``ping``, ``stats``, ``is_core``, ...) is control-plane only.
+BULK_CALLS = {
+    "ingest": BulkSpec(arg_positions=(0,), bulk_result=True),
+    "delete_many": BulkSpec(arg_positions=(0,)),
+    "merge_state": BulkSpec(arg_positions=(0,), bulk_result=True),
+}
+
+IdBatch = Union[Sequence[int], np.ndarray]
+
+
+def _id_list(local_pids: IdBatch) -> List[int]:
+    """Normalize an id payload (array or list) to plain python ints."""
+    if isinstance(local_pids, np.ndarray):
+        return local_pids.tolist()
+    return [int(pid) for pid in local_pids]
 
 
 class ShardBackend:
@@ -36,7 +68,11 @@ class ShardBackend:
         # The per-shard engine is an ordinary single engine: strip the
         # sharding knobs so construction cannot recurse.
         self.config = config.replace(
-            shards=None, shard_block=None, shard_executor=None
+            shards=None,
+            shard_block=None,
+            shard_executor=None,
+            shard_transport=None,
+            shard_start_method=None,
         )
         self.index = shard_index
         self.topology = ShardTopology(
@@ -53,20 +89,24 @@ class ShardBackend:
     # Updates (local ids; the router owns the global id space)
     # ------------------------------------------------------------------
 
-    def ingest(self, points: Sequence[Sequence[float]]) -> List[int]:
-        """Bulk-insert this shard's slice of a batch; returns local ids."""
-        return self.engine.ingest(points)
+    def ingest(self, points: Union[Sequence[Sequence[float]], np.ndarray]) -> np.ndarray:
+        """Bulk-insert this shard's slice of a batch.
 
-    def delete_many(self, local_pids: Sequence[int]) -> None:
+        Returns the assigned local ids as an int64 array — the declared
+        bulk-result form, identical under every executor and transport.
+        """
+        return np.asarray(self.engine.ingest(points), dtype=np.int64)
+
+    def delete_many(self, local_pids: IdBatch) -> None:
         """Bulk-delete by local ids (router pre-validated the batch)."""
-        self.engine.delete_many(local_pids)
+        self.engine.delete_many(_id_list(local_pids))
 
     # ------------------------------------------------------------------
     # Merge inputs
     # ------------------------------------------------------------------
 
     def merge_state(
-        self, local_pids: Optional[Sequence[int]]
+        self, local_pids: Optional[IdBatch]
     ) -> Tuple[Optional[MembershipFragments], GumEdgeFragment, int]:
         """Everything the router needs from this shard for one merge.
 
@@ -78,7 +118,7 @@ class ShardBackend:
         different dataset versions.
         """
         fragments = (
-            self.engine.membership_fragments(local_pids, trust=self._trust)
+            self.engine.membership_fragments(_id_list(local_pids), trust=self._trust)
             if local_pids is not None
             else None
         )
@@ -104,3 +144,38 @@ class ShardBackend:
     def ping(self) -> int:
         """Liveness probe (also used to warm worker processes)."""
         return self.index
+
+    def runtime_info(self) -> dict:
+        """Where and in what state this backend actually runs.
+
+        The regression surface for worker isolation: under the default
+        ``spawn`` start method a worker reports its own pid and a fresh
+        (un-inherited) module sentinel, proving the backend was rebuilt
+        in-process rather than forked with the parent's state.
+        """
+        from repro.shard import executors
+
+        return {
+            "index": self.index,
+            "pid": os.getpid(),
+            "sentinel": executors.WORKER_SENTINEL,
+            "backend": self.engine.backend,
+        }
+
+    def fault(self, kind: str = "plain") -> None:
+        """Deliberately raise — the executors' error-relay test surface."""
+        if kind == "unpicklable":
+            exc = ReproError(
+                "injected fault carrying an unpicklable payload"
+            )
+            exc.payload = lambda: None  # defeats pickle at relay time
+            raise exc
+        raise ReproError("injected fault")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying engine (idempotent)."""
+        self.engine.close()

@@ -11,13 +11,28 @@ merge path:
 * :class:`ProcessShardExecutor` hosts one backend per worker process
   behind a pipe, overlapping the per-shard work of every fan-out
   (:meth:`map` writes all requests before reading any reply).  Workers
-  rebuild their backend from ``(config, index, count)``, so nothing but
-  plain data ever crosses the pipe.
+  rebuild their backend from ``(config, index, count)`` under a pinned,
+  configurable start method (default ``spawn``: nothing of the parent's
+  kernel-registry or jit state is inherited), so nothing but plain data
+  ever crosses the pipe.
+
+Calls cross the pipe through a :mod:`repro.shard.transport` channel
+pair.  Under the ``shm`` transport (the default for this executor) the
+channels frame each call: control metadata is pickled over the pipe,
+bulk numpy payloads move through pooled shared-memory segments and are
+rebuilt as read-only views — array bytes are never pickled in either
+direction.  Under the ``pickle`` transport the channels degrade to
+whole-message pickling, kept selectable so the two transports stay
+measurable side by side.
 
 Exceptions raised inside a backend propagate to the caller unchanged
-(they pickle cleanly — the unified error model is message-based); a
-dead worker surfaces as :class:`repro.errors.ReproError` rather than a
-hang.
+when they pickle; an exception that defeats pickling is relayed as a
+:class:`repro.errors.ReproError` carrying its ``repr`` and traceback
+text (instead of killing the send and surfacing as a fake worker
+death).  A dead worker surfaces as :class:`ReproError` rather than a
+hang, and ``close()`` is idempotent — safe after double-close and after
+worker death, and guaranteed to unlink every shared-memory segment
+(they are all parent-owned).
 """
 
 from __future__ import annotations
@@ -28,11 +43,23 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.api.config import EngineConfig
 from repro.errors import ReproError
-from repro.shard.backend import ShardBackend
+from repro.shard.backend import BULK_CALLS, ShardBackend
+from repro.shard.transport import (
+    ParentChannel,
+    SegmentPool,
+    WorkerChannel,
+)
 
 #: One fan-out request: ``(method name, argument tuple)`` or ``None``
 #: for "this shard sits the round out".
 Call = Optional[Tuple[str, Tuple[Any, ...]]]
+
+#: Worker-isolation sentinel: workers report this through
+#: ``runtime_info``.  A parent that mutates it before opening a
+#: process executor must *not* see the mutation reflected back under
+#: the default ``spawn`` start method — the regression test that
+#: backends are rebuilt fresh in-worker.
+WORKER_SENTINEL = "fresh"
 
 
 class SerialShardExecutor:
@@ -40,10 +67,12 @@ class SerialShardExecutor:
 
     def __init__(self, config: EngineConfig, shard_count: int) -> None:
         self.shard_count = shard_count
+        self.transport = "inline"
         self._backends = [
             ShardBackend(config, index, shard_count)
             for index in range(shard_count)
         ]
+        self._closed = False
 
     def call(self, shard_index: int, method: str, *args) -> Any:
         return getattr(self._backends[shard_index], method)(*args)
@@ -56,24 +85,57 @@ class SerialShardExecutor:
         ]
 
     def close(self) -> None:
+        """Close every per-shard engine; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for backend in self._backends:
+            backend.close()
         self._backends = []
 
 
-def _shard_worker(conn, config: EngineConfig, index: int, count: int) -> None:
+def _shard_worker(
+    conn, config: EngineConfig, index: int, count: int, transport: str
+) -> None:
     """Worker loop: build the backend, then serve calls until ``None``."""
     backend = ShardBackend(config, index, count)
+    channel = WorkerChannel(conn, BULK_CALLS, shm_enabled=(transport == "shm"))
     while True:
         try:
-            message = conn.recv()
+            request = channel.recv_call()
         except EOFError:
             break
-        if message is None:
+        if request is None:
             break
-        method, args = message
+        method, args = request
         try:
-            conn.send(("ok", getattr(backend, method)(*args)))
+            result = getattr(backend, method)(*args)
         except BaseException as exc:  # noqa: BLE001 - relayed to the caller
-            conn.send(("error", exc))
+            try:
+                channel.send_error(exc)
+            except (BrokenPipeError, OSError):
+                break
+            continue
+        try:
+            channel.send_ok(method, result)
+        except (BrokenPipeError, OSError, EOFError):
+            break
+        except Exception as exc:  # noqa: BLE001 - reply framing failed
+            try:
+                channel.send_error(
+                    ReproError(
+                        f"shard {index} failed to frame a reply for "
+                        f"{method!r}: {exc!r}"
+                    )
+                )
+            except (BrokenPipeError, OSError):
+                break
+    # Release the last request's payload views before detaching: a view
+    # is an exported pointer into the segment mmap, and the mmap cannot
+    # close underneath one.
+    request = args = result = None  # noqa: F841
+    channel.close()
+    backend.close()
     conn.close()
 
 
@@ -82,20 +144,25 @@ class ProcessShardExecutor:
 
     def __init__(self, config: EngineConfig, shard_count: int) -> None:
         self.shard_count = shard_count
-        ctx = mp.get_context()
-        self._conns = []
+        self.transport = config.resolved_shard_transport
+        self.start_method = config.resolved_shard_start_method
+        ctx = mp.get_context(self.start_method)
+        self._pool: Optional[SegmentPool] = (
+            SegmentPool() if self.transport == "shm" else None
+        )
+        self._channels: List[ParentChannel] = []
         self._procs = []
         for index in range(shard_count):
             parent, child = ctx.Pipe()
             proc = ctx.Process(
                 target=_shard_worker,
-                args=(child, config, index, shard_count),
+                args=(child, config, index, shard_count, self.transport),
                 daemon=True,
                 name=f"repro-shard-{index}",
             )
             proc.start()
             child.close()
-            self._conns.append(parent)
+            self._channels.append(ParentChannel(parent, self._pool, BULK_CALLS))
             self._procs.append(proc)
         self._closed = False
         atexit.register(self.close)
@@ -105,7 +172,7 @@ class ProcessShardExecutor:
 
     def _send(self, shard_index: int, method: str, args: Tuple) -> None:
         try:
-            self._conns[shard_index].send((method, args))
+            self._channels[shard_index].send_call(method, args)
         except (BrokenPipeError, OSError) as exc:
             raise ReproError(
                 f"shard worker {shard_index} is gone (pipe closed); "
@@ -114,15 +181,12 @@ class ProcessShardExecutor:
 
     def _recv(self, shard_index: int) -> Any:
         try:
-            status, payload = self._conns[shard_index].recv()
+            return self._channels[shard_index].recv_reply()
         except EOFError as exc:
             raise ReproError(
                 f"shard worker {shard_index} died mid-call; "
                 f"the sharded engine cannot continue"
             ) from exc
-        if status == "error":
-            raise payload
-        return payload
 
     def call(self, shard_index: int, method: str, *args) -> Any:
         self._send(shard_index, method, args)
@@ -150,23 +214,28 @@ class ProcessShardExecutor:
         return results
 
     def close(self) -> None:
+        """Shut down workers and unlink every segment; idempotent."""
         if self._closed:
             return
         self._closed = True
         # Drop the atexit reference so closed executors can be GC'd in
         # long-lived processes that open many sharded engines.
         atexit.unregister(self.close)
-        for conn in self._conns:
+        for channel in self._channels:
             try:
-                conn.send(None)
+                channel.conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
             proc.join(timeout=5)
             if proc.is_alive():  # pragma: no cover - watchdog path
                 proc.terminate()
-        for conn in self._conns:
-            conn.close()
+        for channel in self._channels:
+            channel.conn.close()
+        # Last: every segment is parent-owned, so this unlinks the whole
+        # payload plane even if workers crashed mid-call.
+        if self._pool is not None:
+            self._pool.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:

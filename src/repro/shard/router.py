@@ -139,10 +139,14 @@ class ShardRouter:
                 continue
             # Concatenate-and-sort restores arrival order within the
             # shard's slice — the deterministic replay order every
-            # engine applies.
+            # engine applies.  The slice ships as an (n, dim) float64
+            # array, the declared bulk form (BULK_CALLS): the shm
+            # transport moves it through shared memory untouched, and
+            # even the pickle transport ships one buffer instead of n
+            # python tuples.
             order = np.sort(np.concatenate(parts))
             orders[shard] = order
-            calls.append(("ingest", ([tuples[i] for i in order.tolist()],)))
+            calls.append(("ingest", (arr[order],)))
         try:
             local_ids = self.executor.map(calls)
         finally:
@@ -157,10 +161,14 @@ class ShardRouter:
                 continue
             g2l = self._global_to_local[shard]
             l2g = self._local_to_global[shard]
-            for i, local_pid in zip(order.tolist(), local_ids[shard]):
+            # Backends reply with an int64 id array (possibly a view
+            # into a transport segment): normalize to python ints here,
+            # where the ids enter long-lived registries.
+            shard_ids = local_ids[shard].tolist()
+            for i, local_pid in zip(order.tolist(), shard_ids):
                 g2l[base + i] = local_pid
                 l2g[local_pid] = base + i
-            self._routed[shard] += len(local_ids[shard])
+            self._routed[shard] += len(shard_ids)
         return list(range(base, base + len(tuples)))
 
     def delete_many(self, pids: Iterable[int]) -> None:
@@ -194,7 +202,12 @@ class ShardRouter:
                 calls.append(None)
                 continue
             g2l = self._global_to_local[shard]
-            calls.append(("delete_many", ([g2l[pid] for pid in shard_pids],)))
+            local = np.fromiter(
+                (g2l[pid] for pid in shard_pids),
+                dtype=np.int64,
+                count=len(shard_pids),
+            )
+            calls.append(("delete_many", (local,)))
         try:
             self.executor.map(calls)
         finally:
@@ -257,7 +270,17 @@ class ShardRouter:
                 per_shard[shard] = []
             per_shard[shard].append(self._global_to_local[shard][pid])
         responses = self.executor.map(
-            [("merge_state", (locals_,)) for locals_ in per_shard]
+            [
+                (
+                    "merge_state",
+                    (
+                        None
+                        if locals_ is None
+                        else np.asarray(locals_, dtype=np.int64),
+                    ),
+                )
+                for locals_ in per_shard
+            ]
         )
         for shard, (_, _, epoch) in enumerate(responses):
             if epoch != self._routed[shard]:

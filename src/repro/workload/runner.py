@@ -97,10 +97,13 @@ class RunResult:
     comparable number-for-number.
 
     ``backend`` records which kernel backend (:mod:`repro.kernels`)
-    produced the run and ``shards`` how many engine shards served it
-    (1 for a single engine), so benchmark files and reports can
-    attribute numbers to the compute substrate and deployment shape
-    that generated them.
+    produced the run, ``shards`` how many engine shards served it
+    (1 for a single engine) and ``transport`` how routed batches
+    reached those shards (``"inline"`` for the serial executor,
+    ``"pickle"``/``"shm"`` for the process executor, ``""`` for an
+    unsharded run), so benchmark files and reports can attribute
+    numbers to the compute substrate and deployment shape that
+    generated them.
     """
 
     op_kinds: List[str] = field(default_factory=list)
@@ -108,6 +111,7 @@ class RunResult:
     op_sizes: List[int] = field(default_factory=list)
     backend: str = ""
     shards: int = 1
+    transport: str = ""
 
     def _sizes(self) -> List[int]:
         # Hand-built results may omit sizes; treat every entry as 1 op.
@@ -317,4 +321,6 @@ def run_workload_engine(
     else:
         result = run_workload(engine, workload, max_ops)
     result.shards = engine.config.shards or 1
+    if engine.config.shards:
+        result.transport = engine.config.resolved_shard_transport
     return result

@@ -97,6 +97,7 @@ def _open_sharded(
     shard_count: int,
     executor: str = "serial",
     block: int = 1,
+    transport: str | None = None,
 ):
     return api.open(
         algorithm=algorithm,
@@ -107,6 +108,7 @@ def _open_sharded(
         shards=shard_count,
         shard_block=block,
         shard_executor=executor,
+        shard_transport=transport,
     )
 
 
@@ -221,15 +223,21 @@ def test_clustered_regime_block_sizes(dim, block, shard_count):
     assert got_snap.noise == want_snap.noise
 
 
-def test_process_executor_differential():
-    """The worker-process transport merges bit-identically too."""
+@pytest.mark.parametrize("transport", ("pickle", "shm"))
+def test_process_executor_differential(transport):
+    """Both worker-process transports merge bit-identically too."""
     workload = _workload(2, insert_only=False)
-    with _open_sharded("full", 2, 0.0, 3, executor="process") as engine:
+    engine = _open_sharded(
+        "full", 2, 0.0, 3, executor="process", transport=transport
+    )
+    try:
         got = _replay(engine, workload)
         want_queries, want_snap, _ = _reference("full", 2, 0.0, workload)
         _assert_identical_runs(
-            "process executor", got, (want_queries, want_snap)
+            f"process executor ({transport})", got, (want_queries, want_snap)
         )
+    finally:
+        engine.close()
 
 
 def test_epoch_stamps_track_the_global_dataset_version(shard_count):

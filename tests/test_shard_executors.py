@@ -1,0 +1,296 @@
+"""Executor failure modes, lifecycle guarantees and the shm transport.
+
+The process executor's contract is easy to state and easy to silently
+break: a worker death surfaces as a :class:`ReproError` (never a hang or
+a desynchronized pipe), any backend exception is relayed even when it
+defeats pickling, ``close()`` is idempotent under double-close and after
+worker death, and — the tentpole guarantee — every shared-memory segment
+is unlinked on close no matter what the workers did.  These tests pin
+each of those down, plus the worker-isolation property of the pinned
+``spawn`` start method and the config validation of the new knobs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.api.config import EngineConfig
+from repro.errors import ConfigError, ReproError
+from repro.shard import executors as executors_mod
+from repro.shard.executors import ProcessShardExecutor, SerialShardExecutor
+from repro.shard.transport import SegmentPool
+
+
+def _config(**overrides) -> EngineConfig:
+    knobs = dict(
+        algorithm="full", eps=3.0, minpts=5, dim=2, shards=2,
+        shard_executor="process",
+    )
+    knobs.update(overrides)
+    return EngineConfig(**knobs)
+
+
+def _points(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.0, 50.0, size=(n, 2))
+
+
+def _shm_entries(names) -> list:
+    """Which of the given segment names actually exist under /dev/shm."""
+    return [name for name in names if os.path.exists(f"/dev/shm/{name}")]
+
+
+@pytest.fixture(params=("pickle", "shm"))
+def process_executor(request):
+    config = _config(shard_transport=request.param)
+    executor = ProcessShardExecutor(config, 2)
+    yield executor
+    executor.close()
+
+
+# ----------------------------------------------------------------------
+# Exception relay
+# ----------------------------------------------------------------------
+
+
+def test_picklable_exception_relays_and_worker_survives(process_executor):
+    with pytest.raises(ReproError, match="injected fault"):
+        process_executor.call(0, "fault")
+    # The worker is alive and its pipe in sync: the next call round-trips.
+    assert process_executor.call(0, "ping") == 0
+    assert process_executor.call(1, "ping") == 1
+
+
+def test_unpicklable_exception_relays_as_repro_error(process_executor):
+    with pytest.raises(ReproError) as excinfo:
+        process_executor.call(0, "fault", "unpicklable")
+    message = str(excinfo.value)
+    assert "could not be relayed" in message
+    # The fallback carries the original exception's repr and traceback.
+    assert "injected fault carrying an unpicklable payload" in message
+    assert "original traceback" in message
+    # The failed relay did not kill the worker or desync the pipe.
+    assert process_executor.call(0, "ping") == 0
+
+
+def test_exception_in_map_still_drains_other_shards(process_executor):
+    pids = process_executor.map(
+        [("ingest", (_points(40),)), ("ingest", (_points(40, seed=1),))]
+    )
+    assert all(len(p) == 40 for p in pids)
+    with pytest.raises(ReproError, match="injected fault"):
+        process_executor.map([("fault", ()), ("ping", ())])
+    # Shard 1's reply was drained despite shard 0's failure; both pipes
+    # still alternate request/reply cleanly.
+    assert process_executor.map([("ping", ()), ("ping", ())]) == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# Worker death
+# ----------------------------------------------------------------------
+
+
+def test_worker_death_surfaces_as_repro_error_not_hang(process_executor):
+    process_executor._procs[0].kill()
+    process_executor._procs[0].join(timeout=5)
+    with pytest.raises(ReproError, match="shard worker 0"):
+        # Depending on pipe-buffer timing this surfaces at send (pipe
+        # closed) or at receive (died mid-call); both name the shard.
+        for _ in range(3):
+            process_executor.call(0, "ping")
+    # The surviving shard is unaffected.
+    assert process_executor.call(1, "ping") == 1
+
+
+def test_close_after_worker_death_is_clean(process_executor):
+    names = (
+        process_executor._pool.segment_names()
+        if process_executor._pool is not None
+        else []
+    )
+    for proc in process_executor._procs:
+        proc.kill()
+        proc.join(timeout=5)
+    process_executor.close()  # must not raise
+    process_executor.close()  # and stays idempotent
+    assert _shm_entries(names) == []
+
+
+# ----------------------------------------------------------------------
+# Segment lifecycle (the no-leak guarantee)
+# ----------------------------------------------------------------------
+
+
+def test_shm_segments_exist_in_flight_and_unlink_on_close():
+    config = _config(shard_transport="shm")
+    executor = ProcessShardExecutor(config, 2)
+    try:
+        executor.map(
+            [("ingest", (_points(200),)), ("ingest", (_points(200, seed=1),))]
+        )
+        names = executor._pool.segment_names()
+        assert names, "bulk calls should have leased segments"
+        assert _shm_entries(names) == names
+        # An exception between bulk calls must not strand anything.
+        with pytest.raises(ReproError):
+            executor.call(0, "fault")
+        executor.call(1, "ingest", _points(300, seed=2))
+        names = executor._pool.segment_names()
+    finally:
+        executor.close()
+    assert _shm_entries(names) == []
+    leftover = [
+        entry
+        for entry in os.listdir("/dev/shm")
+        if entry.startswith(f"repro-shm-{os.getpid()}-")
+    ]
+    assert leftover == []
+
+
+def test_segment_pool_reuses_and_grows():
+    pool = SegmentPool()
+    try:
+        first = pool.lease(1000)
+        pool.release(first)
+        assert pool.lease(2000) is first  # free-listed and big enough
+        bigger = pool.lease(first.size + 1)
+        assert bigger is not first
+        assert bigger.size >= first.size + 1
+        assert len(pool) == 2
+        names = pool.segment_names()
+    finally:
+        pool.close()
+        pool.close()  # idempotent
+    assert _shm_entries(names) == []
+
+
+def test_shm_reply_views_are_read_only():
+    config = _config(shard_transport="shm")
+    executor = ProcessShardExecutor(config, 2)
+    try:
+        result = executor.call(0, "ingest", _points(64))
+        assert isinstance(result, np.ndarray)
+        assert result.dtype == np.int64
+        assert not result.flags.writeable
+        empty = executor.call(0, "ingest", np.empty((0, 2)))
+        assert len(empty) == 0
+    finally:
+        executor.close()
+
+
+# ----------------------------------------------------------------------
+# close() contracts
+# ----------------------------------------------------------------------
+
+
+def test_process_executor_double_close(process_executor):
+    process_executor.close()
+    process_executor.close()
+    assert all(not proc.is_alive() for proc in process_executor._procs)
+
+
+def test_serial_executor_close_closes_engines_and_is_idempotent():
+    executor = SerialShardExecutor(_config(shard_executor="serial"), 2)
+    backends = list(executor._backends)
+    assert executor.transport == "inline"
+    executor.map([("ping", ()), ("ping", ())])
+    executor.close()
+    executor.close()
+    assert all(backend.engine.closed for backend in backends)
+
+
+def test_sharded_engine_close_reaches_per_shard_engines():
+    engine = api.open(
+        algorithm="full", eps=3.0, minpts=5, dim=2, shards=2
+    )
+    backends = list(engine._router.executor._backends)
+    engine.ingest(_points(50))
+    engine.close()
+    assert all(backend.engine.closed for backend in backends)
+
+
+# ----------------------------------------------------------------------
+# Start method / worker isolation
+# ----------------------------------------------------------------------
+
+
+def test_spawn_workers_rebuild_state_fresh(monkeypatch):
+    monkeypatch.setattr(executors_mod, "WORKER_SENTINEL", "mutated-in-parent")
+    executor = ProcessShardExecutor(_config(), 2)
+    try:
+        assert executor.start_method == "spawn"
+        infos = executor.map([("runtime_info", ()), ("runtime_info", ())])
+        for index, info in enumerate(infos):
+            assert info["index"] == index
+            assert info["pid"] != os.getpid()
+            # spawn re-imports the module in the worker: the parent's
+            # mutation must NOT be visible — backends are rebuilt fresh.
+            assert info["sentinel"] == "fresh"
+    finally:
+        executor.close()
+
+
+@pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(), reason="platform has no fork"
+)
+def test_fork_start_method_knob_is_honored(monkeypatch):
+    monkeypatch.setattr(executors_mod, "WORKER_SENTINEL", "mutated-in-parent")
+    executor = ProcessShardExecutor(_config(shard_start_method="fork"), 2)
+    try:
+        assert executor.start_method == "fork"
+        info = executor.call(0, "runtime_info")
+        # fork inherits the parent's interpreter state — the very
+        # behavior the spawn default exists to avoid.
+        assert info["sentinel"] == "mutated-in-parent"
+    finally:
+        executor.close()
+
+
+# ----------------------------------------------------------------------
+# Config knobs
+# ----------------------------------------------------------------------
+
+
+def test_transport_knob_requires_sharding_and_process_executor():
+    with pytest.raises(ConfigError, match="shards"):
+        EngineConfig(eps=3.0, minpts=5, shard_transport="shm")
+    with pytest.raises(ConfigError, match="serial executor"):
+        _config(shard_executor="serial", shard_transport="shm")
+    with pytest.raises(ConfigError, match="shard_transport"):
+        _config(shard_transport="carrier-pigeon")
+
+
+def test_start_method_knob_is_validated():
+    with pytest.raises(ConfigError, match="shards"):
+        EngineConfig(eps=3.0, minpts=5, shard_start_method="spawn")
+    with pytest.raises(ConfigError, match="shard_start_method"):
+        _config(shard_start_method="teleport")
+
+
+def test_transport_resolution_chain(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARD_TRANSPORT", raising=False)
+    assert _config().resolved_shard_transport == "shm"
+    assert _config(shard_transport="pickle").resolved_shard_transport == "pickle"
+    monkeypatch.setenv("REPRO_SHARD_TRANSPORT", "pickle")
+    assert _config().resolved_shard_transport == "pickle"
+    # Explicit knob beats the environment.
+    assert _config(shard_transport="shm").resolved_shard_transport == "shm"
+    serial = _config(shard_executor="serial")
+    assert serial.resolved_shard_transport == "inline"
+    monkeypatch.setenv("REPRO_SHARD_TRANSPORT", "morse")
+    with pytest.raises(ConfigError, match="REPRO_SHARD_TRANSPORT"):
+        _config().resolved_shard_transport
+
+
+def test_start_method_resolution_chain(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARD_START_METHOD", raising=False)
+    assert _config().resolved_shard_start_method == "spawn"
+    monkeypatch.setenv("REPRO_SHARD_START_METHOD", "forkserver")
+    assert _config().resolved_shard_start_method == "forkserver"
+    monkeypatch.setenv("REPRO_SHARD_START_METHOD", "teleport")
+    with pytest.raises(ConfigError, match="REPRO_SHARD_START_METHOD"):
+        _config().resolved_shard_start_method

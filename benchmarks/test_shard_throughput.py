@@ -96,6 +96,12 @@ def _one_run(shards: int, executor: str, transport: str | None) -> float:
         assert len(engine) == N
         stats = engine.stats()
         replication = stats.replicas / stats.points if stats.points else 0.0
+        # A timed run that quietly lost and rebuilt a worker measured
+        # recovery, not transport — refuse to record such a number.
+        assert stats.restarts == 0, (
+            f"benchmark run performed {stats.restarts} supervised worker "
+            f"restart(s); its timing is not a transport measurement"
+        )
     finally:
         engine.close()
     return elapsed, replication
@@ -201,7 +207,8 @@ def test_zz_write_results():
         "shard_throughput.txt",
         f"Sharded ingest throughput: d={DIM}, eps={EPS}, MinPts={MINPTS}, "
         f"rho=0, semi family, chunk={CHUNK}, shard_block={SHARD_BLOCK}, "
-        f"best of {REPEATS}, cpus={CPUS}, seed-spreader data (shm "
+        f"best of {REPEATS}, cpus={CPUS}, restarts=0 asserted per run, "
+        f"seed-spreader data (shm "
         f"transport-tax tripwire <= {MAX_TRANSPORT_TAX}x at N>={TRIPWIRE_N}; "
         f">=1.0x scaling at cpus>=2; >=1.5x floor at N>={ASSERT_FLOOR_N} "
         f"and cpus>=4)",

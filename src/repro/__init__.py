@@ -54,6 +54,7 @@ from repro.errors import (
     ConfigError,
     InvalidQueryError,
     ReproError,
+    ShardTimeoutError,
     UnknownPointError,
     UnsupportedOperationError,
 )
@@ -93,6 +94,7 @@ __all__ = [
     "ReproError",
     "RunResult",
     "SemiDynamicClusterer",
+    "ShardTimeoutError",
     "ShardedEngine",
     "ShardedStats",
     "Snapshot",

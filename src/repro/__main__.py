@@ -42,6 +42,7 @@ def _engine_for(
     shards: int | None = None,
     shard_executor: str | None = None,
     shard_transport: str | None = None,
+    shard_call_timeout: float | None = None,
 ):
     """One benchmark engine: the CLI's bench path runs through repro.api."""
     # Exact and rho-free algorithms ignore --rho (matching the historical
@@ -61,6 +62,7 @@ def _engine_for(
         shards=shards,
         shard_executor=shard_executor if shards else None,
         shard_transport=shard_transport if shards else None,
+        shard_call_timeout=shard_call_timeout if shards else None,
     )
     return repro.api.open(config)
 
@@ -110,6 +112,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 shards=args.shards,
                 shard_executor=args.shard_executor,
                 shard_transport=args.shard_transport,
+                shard_call_timeout=args.shard_call_timeout,
             )
         except ConfigError as exc:
             print(str(exc), file=sys.stderr)
@@ -183,6 +186,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             args.shards,
             args.shard_executor,
             args.shard_transport,
+            args.shard_call_timeout,
         )
         result = run_workload_engine(engine, workload)
         queries = result.query_costs()
@@ -209,6 +213,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "backend": result.backend,
             "shards": result.shards,
             "transport": result.transport,
+            "restarts": result.restarts,
             "config": engine.config.as_dict(),
         }
         if args.shards:
@@ -326,6 +331,16 @@ def build_parser() -> argparse.ArgumentParser:
         "through the pipe, or move bulk arrays through pooled shared "
         "memory (default: REPRO_SHARD_TRANSPORT or shm); only "
         "meaningful with --shards --shard-executor process",
+    )
+    bench.add_argument(
+        "--shard-call-timeout",
+        type=float,
+        default=None,
+        help="deadline in seconds on every shard-worker reply wait: a "
+        "hung worker fails with ShardTimeoutError (and is restarted by "
+        "the supervisor) instead of hanging the run (default: "
+        "REPRO_SHARD_CALL_TIMEOUT or 60); only meaningful with --shards "
+        "--shard-executor process",
     )
     bench.add_argument(
         "--format",

@@ -43,6 +43,7 @@ from repro.errors import (
     ConfigError,
     InvalidQueryError,
     ReproError,
+    ShardTimeoutError,
     UnknownPointError,
     UnsupportedOperationError,
 )
@@ -91,6 +92,7 @@ __all__ = [
     "InvalidQueryError",
     "QueryOutcome",
     "ReproError",
+    "ShardTimeoutError",
     "ShardedEngine",
     "ShardedStats",
     "Snapshot",

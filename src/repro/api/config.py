@@ -89,6 +89,23 @@ DEFAULT_SHARD_BLOCK = 16
 #: properties — rho-free vs. grid-less — and may diverge.)
 UNSHARDEABLE_ALGORITHMS = ("incdbscan", "recompute")
 
+#: Default deadline (seconds) on every process-executor reply wait.  A
+#: hung worker surfaces as :class:`repro.errors.ShardTimeoutError`
+#: within this bound instead of hanging the parent forever.  Generous
+#: enough that a legitimate big merge on a loaded machine never trips
+#: it; chaos tests tighten it per-deployment.  Overridable via the
+#: ``REPRO_SHARD_CALL_TIMEOUT`` environment variable.
+DEFAULT_SHARD_CALL_TIMEOUT = 60.0
+
+#: Default per-shard restart budget of the supervisor
+#: (:class:`repro.shard.supervisor.ShardSupervisor`): how many times
+#: one shard's worker may be respawned-and-replayed over the
+#: deployment's lifetime before a failure is declared unrecoverable.
+#: ``0`` disables recovery (every worker death or timeout is fatal,
+#: the pre-supervision behavior).  Overridable via the
+#: ``REPRO_SHARD_MAX_RESTARTS`` environment variable.
+DEFAULT_SHARD_MAX_RESTARTS = 3
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -107,6 +124,17 @@ class EngineConfig:
     ``shm``; process executor only, default auto → ``shm``) and
     ``shard_start_method`` (``fork`` / ``spawn`` / ``forkserver``,
     default ``spawn``) tune the deployment and require ``shards``.
+    Fault tolerance of the process executor is tuned by
+    ``shard_call_timeout`` (deadline in seconds on every reply wait,
+    default :data:`DEFAULT_SHARD_CALL_TIMEOUT`),
+    ``shard_max_restarts`` (the supervisor's per-shard
+    respawn-and-replay budget, default
+    :data:`DEFAULT_SHARD_MAX_RESTARTS`; 0 disables recovery) and
+    ``shard_fault_plan`` (a :mod:`repro.shard.faults` injection plan
+    for chaos testing; process executor only) — all requiring
+    ``shards``, each with an environment fallback
+    (``REPRO_SHARD_CALL_TIMEOUT`` / ``REPRO_SHARD_MAX_RESTARTS`` /
+    ``REPRO_FAULT_PLAN``).
 
     ``algorithm`` accepts the canonical Section 8 names
     (``semi-exact``, ``semi-approx``, ``full-exact``, ``double-approx``,
@@ -133,6 +161,9 @@ class EngineConfig:
     shard_executor: Optional[str] = None
     shard_transport: Optional[str] = None
     shard_start_method: Optional[str] = None
+    shard_call_timeout: Optional[float] = None
+    shard_max_restarts: Optional[int] = None
+    shard_fault_plan: Optional[str] = None
 
     def __post_init__(self) -> None:
         algorithm = self.algorithm
@@ -274,6 +305,60 @@ class EngineConfig:
                     f"not available on this platform; available: "
                     f"{', '.join(_available_start_methods())}"
                 )
+        if self.shard_call_timeout is not None:
+            if self.shards is None:
+                raise ConfigError(
+                    f"shard_call_timeout={self.shard_call_timeout!r} "
+                    f"requires shards to be set"
+                )
+            if (
+                not isinstance(self.shard_call_timeout, (int, float))
+                or isinstance(self.shard_call_timeout, bool)
+                or not math.isfinite(self.shard_call_timeout)
+                or self.shard_call_timeout <= 0
+            ):
+                raise ConfigError(
+                    f"shard_call_timeout must be a positive finite number "
+                    f"of seconds or None, got {self.shard_call_timeout!r}"
+                )
+        if self.shard_max_restarts is not None:
+            if self.shards is None:
+                raise ConfigError(
+                    f"shard_max_restarts={self.shard_max_restarts!r} "
+                    f"requires shards to be set"
+                )
+            if (
+                not isinstance(self.shard_max_restarts, int)
+                or isinstance(self.shard_max_restarts, bool)
+                or self.shard_max_restarts < 0
+            ):
+                raise ConfigError(
+                    f"shard_max_restarts must be a non-negative integer or "
+                    f"None (0 disables recovery), got "
+                    f"{self.shard_max_restarts!r}"
+                )
+        if self.shard_fault_plan is not None:
+            if self.shards is None:
+                raise ConfigError(
+                    f"shard_fault_plan={self.shard_fault_plan!r} requires "
+                    f"shards to be set"
+                )
+            if self.resolved_shard_executor != "process":
+                raise ConfigError(
+                    f"shard_fault_plan={self.shard_fault_plan!r} requires "
+                    f"shard_executor='process'; fault plans are consulted "
+                    f"by worker processes, which the serial executor does "
+                    f"not have"
+                )
+            if not isinstance(self.shard_fault_plan, str):
+                raise ConfigError(
+                    f"shard_fault_plan must be a plan string or None, got "
+                    f"{self.shard_fault_plan!r}"
+                )
+            # Imported lazily: repro.shard imports this module at load.
+            from repro.shard.faults import parse_fault_plan
+
+            parse_fault_plan(self.shard_fault_plan)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -358,6 +443,79 @@ class EngineConfig:
                 )
             return env
         return DEFAULT_SHARD_START_METHOD
+
+    @property
+    def resolved_shard_call_timeout(self) -> float:
+        """The deadline (seconds) on every process-executor reply wait.
+
+        The explicit ``shard_call_timeout`` knob if set, else the
+        ``REPRO_SHARD_CALL_TIMEOUT`` environment variable, else
+        :data:`DEFAULT_SHARD_CALL_TIMEOUT`.
+        """
+        if self.shard_call_timeout is not None:
+            return float(self.shard_call_timeout)
+        env = os.environ.get("REPRO_SHARD_CALL_TIMEOUT")
+        if env:
+            try:
+                timeout = float(env)
+            except ValueError:
+                timeout = math.nan
+            if not math.isfinite(timeout) or timeout <= 0:
+                raise ConfigError(
+                    f"REPRO_SHARD_CALL_TIMEOUT={env!r} is not a positive "
+                    f"finite number of seconds"
+                )
+            return timeout
+        return DEFAULT_SHARD_CALL_TIMEOUT
+
+    @property
+    def resolved_shard_max_restarts(self) -> int:
+        """The supervisor's per-shard restart budget.
+
+        The explicit ``shard_max_restarts`` knob if set, else the
+        ``REPRO_SHARD_MAX_RESTARTS`` environment variable, else
+        :data:`DEFAULT_SHARD_MAX_RESTARTS`.
+        """
+        if self.shard_max_restarts is not None:
+            return self.shard_max_restarts
+        env = os.environ.get("REPRO_SHARD_MAX_RESTARTS")
+        if env:
+            try:
+                budget = int(env)
+            except ValueError:
+                budget = -1
+            if budget < 0:
+                raise ConfigError(
+                    f"REPRO_SHARD_MAX_RESTARTS={env!r} is not a "
+                    f"non-negative integer"
+                )
+            return budget
+        return DEFAULT_SHARD_MAX_RESTARTS
+
+    @property
+    def resolved_shard_fault_plan(self) -> Optional[str]:
+        """The fault plan worker processes consult, or ``None``.
+
+        ``None`` unless the deployment runs the process executor
+        (fault plans inject into worker processes).  Then: the
+        explicit ``shard_fault_plan`` knob if set, else the
+        ``REPRO_FAULT_PLAN`` environment variable (validated here),
+        else ``None`` — the zero-overhead default.
+        """
+        if self.resolved_shard_executor != "process":
+            return None
+        if self.shard_fault_plan is not None:
+            return self.shard_fault_plan
+        env = os.environ.get("REPRO_FAULT_PLAN")
+        if env:
+            from repro.shard.faults import parse_fault_plan
+
+            try:
+                parse_fault_plan(env)
+            except ConfigError as exc:
+                raise ConfigError(f"REPRO_FAULT_PLAN: {exc}") from None
+            return env
+        return None
 
     def replace(self, **changes) -> "EngineConfig":
         """A new validated config with the given fields replaced."""

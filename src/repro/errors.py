@@ -29,6 +29,11 @@ The hierarchy:
     semi-dynamic clusterer.  Historically lived in
     :mod:`repro.workload.runner`; importing it from there still works
     but emits a :class:`DeprecationWarning`.
+  * :class:`ShardTimeoutError` — a shard worker failed to reply within
+    the deadline (``EngineConfig.shard_call_timeout``).  A hung or
+    stopped worker surfaces as this instead of blocking the parent
+    forever; the shard supervisor treats it as a recoverable failure
+    (kill, respawn, replay).  Subclasses the builtin ``TimeoutError``.
 """
 
 from __future__ import annotations
@@ -64,10 +69,24 @@ class UnsupportedOperationError(ReproError, RuntimeError):
     """
 
 
+class ShardTimeoutError(ReproError, TimeoutError):
+    """A shard worker did not reply within ``shard_call_timeout``.
+
+    Every reply wait in the process shard executor goes through a
+    ``poll``-based deadline, so a hung worker (deadlocked, SIGSTOP'd,
+    or with a fault-injected hang) raises this instead of hanging the
+    parent.  After a timeout the worker's channel is desynchronized
+    and poisoned: the shard supervisor recovers by killing and
+    respawning the worker and replaying its journal; without a
+    supervisor the shard is unusable until restarted.
+    """
+
+
 __all__ = [
     "ReproError",
     "ConfigError",
     "UnknownPointError",
     "InvalidQueryError",
     "UnsupportedOperationError",
+    "ShardTimeoutError",
 ]

@@ -22,8 +22,17 @@ Open one through the front door with the ``shards`` knob::
 Layering: :class:`ShardTopology` (pure ownership/halo geometry) →
 :class:`ShardBackend` (one engine behind its trust predicate) →
 executors (in-process serial, or one worker process per shard) →
+:class:`ShardSupervisor` (per-shard journal, deadline-bounded calls,
+restart with exact replay; process executor only) →
 :class:`ShardRouter` (global id space, routing, boundary merge) →
 :class:`ShardedEngine` (the ``repro.api``-shaped facade).
+
+Failures are first-class: a hung worker raises
+:class:`repro.errors.ShardTimeoutError` within the configured
+deadline, a dead one is respawned and rebuilt by journal replay
+(bounded by ``shard_max_restarts``), and :mod:`repro.shard.faults`
+injects crashes/hangs/delays/errors on a declarative schedule so the
+chaos suite can prove recovery stays bit-identical at ``rho = 0``.
 """
 
 from __future__ import annotations
@@ -31,16 +40,21 @@ from __future__ import annotations
 from repro.shard.backend import ShardBackend
 from repro.shard.engine import SHARD_EXECUTOR_CHOICES, ShardedEngine, ShardedStats
 from repro.shard.executors import ProcessShardExecutor, SerialShardExecutor
+from repro.shard.faults import FaultRule, parse_fault_plan
 from repro.shard.router import ShardRouter
+from repro.shard.supervisor import ShardSupervisor
 from repro.shard.topology import ShardTopology
 
 __all__ = [
     "SHARD_EXECUTOR_CHOICES",
+    "FaultRule",
     "ProcessShardExecutor",
     "SerialShardExecutor",
     "ShardBackend",
     "ShardRouter",
+    "ShardSupervisor",
     "ShardTopology",
     "ShardedEngine",
     "ShardedStats",
+    "parse_fault_plan",
 ]

@@ -49,6 +49,15 @@ BULK_CALLS = {
     "merge_state": BulkSpec(arg_positions=(0,), bulk_result=True),
 }
 
+#: The state-mutating subset of the executor call surface — exactly the
+#: calls the shard supervisor journals, because replaying them (in
+#: order, against a freshly rebuilt backend) reproduces the backend's
+#: state bit-for-bit.  Every other call is read-only and safe to retry
+#: without journaling.  Deliberately a subset of the ``BULK_CALLS``
+#: keys: the bulk-payload calls are how state moves, minus the
+#: read-only ``merge_state``.
+MUTATING_CALLS = frozenset({"ingest", "delete_many"})
+
 IdBatch = Union[Sequence[int], np.ndarray]
 
 
@@ -73,6 +82,9 @@ class ShardBackend:
             shard_executor=None,
             shard_transport=None,
             shard_start_method=None,
+            shard_call_timeout=None,
+            shard_max_restarts=None,
+            shard_fault_plan=None,
         )
         self.index = shard_index
         self.topology = ShardTopology(

@@ -26,6 +26,7 @@ from repro.api.engine import EngineStats, QueryOutcome, Snapshot
 from repro.errors import ConfigError, UnknownPointError, UnsupportedOperationError
 from repro.shard.executors import ProcessShardExecutor, SerialShardExecutor
 from repro.shard.router import ShardRouter
+from repro.shard.supervisor import ShardSupervisor
 
 
 @dataclass(frozen=True)
@@ -36,6 +37,10 @@ class ShardedStats:
     points materialized across shards including halo copies, so
     ``replicas / points`` is the replication factor the halo costs.
     ``per_shard`` holds each shard engine's own :class:`EngineStats`.
+    ``restarts`` counts supervised worker recoveries (kill + respawn +
+    journal replay) performed over the deployment's lifetime — 0 for
+    the serial executor and for a process deployment that never lost a
+    worker.
     """
 
     points: int
@@ -46,6 +51,7 @@ class ShardedStats:
     shards: int
     replicas: int
     per_shard: Tuple[EngineStats, ...]
+    restarts: int = 0
 
 
 class ShardedEngine:
@@ -85,12 +91,15 @@ class ShardedEngine:
             )
         if config.backend is not None:
             kernels.use_backend(config.backend)
-        executor_cls = (
-            ProcessShardExecutor
-            if config.resolved_shard_executor == "process"
-            else SerialShardExecutor
-        )
-        executor = executor_cls(config, config.shards)
+        if config.resolved_shard_executor == "process":
+            # Worker processes can die or hang: supervise them with the
+            # journal/restart/replay layer (invisible to the router;
+            # shard_max_restarts=0 makes every failure fatal again).
+            executor = ShardSupervisor(
+                ProcessShardExecutor(config, config.shards), config
+            )
+        else:
+            executor = SerialShardExecutor(config, config.shards)
         return cls(
             config,
             ShardRouter(config, executor),
@@ -118,6 +127,11 @@ class ShardedEngine:
     @property
     def backend(self) -> str:
         return self._backend
+
+    @property
+    def restarts(self) -> int:
+        """Supervised worker recoveries performed so far (0 when serial)."""
+        return getattr(self._router.executor, "restarts", 0)
 
     def __len__(self) -> int:
         return len(self._router)
@@ -204,6 +218,7 @@ class ShardedEngine:
             shards=self.shards,
             replicas=sum(s.points for s in per_shard),
             per_shard=per_shard,
+            restarts=self.restarts,
         )
 
     # ------------------------------------------------------------------

@@ -25,14 +25,35 @@ direction.  Under the ``pickle`` transport the channels degrade to
 whole-message pickling, kept selectable so the two transports stay
 measurable side by side.
 
+**Failure surface.**  Every reply wait carries a ``poll``-based
+deadline (``EngineConfig.shard_call_timeout``), so a hung worker
+raises :class:`repro.errors.ShardTimeoutError` instead of hanging the
+parent, and a dead worker raises :class:`ShardWorkerLost` — both
+within bounded time, never a hang.  After either failure the shard's
+channel is *poisoned* (a late reply from a timed-out worker would
+desynchronize the request/reply alternation), and
+:meth:`ProcessShardExecutor.restart_worker` is the recovery primitive:
+kill the straggler (terminate, then SIGKILL if it does not land),
+respawn the worker on a fresh pipe under the pinned start method with
+a bumped *incarnation* number, and fail fast on its liveness ping.
+The :class:`repro.shard.supervisor.ShardSupervisor` drives it and
+replays the shard's journal to rebuild state exactly.
+
 Exceptions raised inside a backend propagate to the caller unchanged
 when they pickle; an exception that defeats pickling is relayed as a
 :class:`repro.errors.ReproError` carrying its ``repr`` and traceback
 text (instead of killing the send and surfacing as a fake worker
-death).  A dead worker surfaces as :class:`ReproError` rather than a
-hang, and ``close()`` is idempotent — safe after double-close and after
-worker death, and guaranteed to unlink every shared-memory segment
-(they are all parent-owned).
+death).  ``close()`` is idempotent — safe after double-close and after
+worker death, escalates terminate → kill on stragglers, releases every
+``Process`` object, and is guaranteed to unlink every shared-memory
+segment (they are all parent-owned).  Calls on a closed executor raise
+a clear :class:`ReproError` instead of tripping over torn-down
+internals.
+
+Fault injection (:mod:`repro.shard.faults`): when the config resolves
+a fault plan, each worker consults a per-incarnation injector before
+dispatching a call — the chaos-test surface that proves the recovery
+path, at zero cost when no plan is set.
 """
 
 from __future__ import annotations
@@ -42,8 +63,9 @@ import multiprocessing as mp
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.api.config import EngineConfig
-from repro.errors import ReproError
+from repro.errors import ReproError, ShardTimeoutError
 from repro.shard.backend import BULK_CALLS, ShardBackend
+from repro.shard.faults import injector_for
 from repro.shard.transport import (
     ParentChannel,
     SegmentPool,
@@ -61,6 +83,35 @@ Call = Optional[Tuple[str, Tuple[Any, ...]]]
 #: backends are rebuilt fresh in-worker.
 WORKER_SENTINEL = "fresh"
 
+#: Floor (seconds) on the deadline of a worker's *first* reply — the
+#: liveness ping after a spawn or respawn.  A cold ``spawn`` start
+#: imports the whole package in the child, which can dwarf a tight
+#: ``shard_call_timeout`` tuned for steady-state calls; startup still
+#: fails in bounded time, just against a realistic bound.
+STARTUP_TIMEOUT_FLOOR = 60.0
+
+#: How long (seconds) each escalation step of a worker teardown waits:
+#: graceful join after the shutdown sentinel, join after terminate,
+#: join after kill.
+REAP_TIMEOUT = 5.0
+
+
+class ShardWorkerLost(ReproError):
+    """A shard worker process died or its channel is unusable.
+
+    Distinct from a *relayed* backend exception (the worker survives
+    those): this is the executor diagnosing the worker itself — pipe
+    closed on send, EOF mid-reply, or a poisoned channel after an
+    earlier timeout.  Together with
+    :class:`repro.errors.ShardTimeoutError` it is exactly the failure
+    set the supervisor treats as recoverable by restart-and-replay.
+    """
+
+
+#: The failures recovery applies to.  Anything else an executor call
+#: raises is a relayed backend exception and propagates untouched.
+RECOVERABLE_FAILURES = (ShardWorkerLost, ShardTimeoutError)
+
 
 class SerialShardExecutor:
     """All shard backends in the calling process, called inline."""
@@ -74,11 +125,20 @@ class SerialShardExecutor:
         ]
         self._closed = False
 
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ReproError(
+                "this serial shard executor is closed; calls after "
+                "close() are a lifecycle bug in the caller"
+            )
+
     def call(self, shard_index: int, method: str, *args) -> Any:
+        self._ensure_open()
         return getattr(self._backends[shard_index], method)(*args)
 
     def map(self, calls: Sequence[Call]) -> List[Any]:
         """One result (or ``None``) per shard, in shard order."""
+        self._ensure_open()
         return [
             None if call is None else self.call(index, call[0], *call[1])
             for index, call in enumerate(calls)
@@ -95,11 +155,25 @@ class SerialShardExecutor:
 
 
 def _shard_worker(
-    conn, config: EngineConfig, index: int, count: int, transport: str
+    conn,
+    config: EngineConfig,
+    index: int,
+    count: int,
+    transport: str,
+    fault_spec: Optional[str] = None,
+    incarnation: int = 0,
 ) -> None:
-    """Worker loop: build the backend, then serve calls until ``None``."""
+    """Worker loop: build the backend, then serve calls until ``None``.
+
+    ``incarnation`` counts respawns of this shard's worker (0 for the
+    original); the fault injector uses it so a plan's rules arm, by
+    default, only in the incarnation that has not yet crashed — which
+    is what keeps journal replay from re-triggering the fault it is
+    recovering from.
+    """
     backend = ShardBackend(config, index, count)
     channel = WorkerChannel(conn, BULK_CALLS, shm_enabled=(transport == "shm"))
+    injector = injector_for(fault_spec, index, incarnation)
     while True:
         try:
             request = channel.recv_call()
@@ -108,6 +182,15 @@ def _shard_worker(
         if request is None:
             break
         method, args = request
+        if injector is not None:
+            try:
+                injector.fire(method)
+            except BaseException as exc:  # noqa: BLE001 - injected 'error'
+                try:
+                    channel.send_error(exc)
+                except (BrokenPipeError, OSError):
+                    break
+                continue
         try:
             result = getattr(backend, method)(*args)
         except BaseException as exc:  # noqa: BLE001 - relayed to the caller
@@ -146,92 +229,254 @@ class ProcessShardExecutor:
         self.shard_count = shard_count
         self.transport = config.resolved_shard_transport
         self.start_method = config.resolved_shard_start_method
-        ctx = mp.get_context(self.start_method)
+        self.call_timeout = config.resolved_shard_call_timeout
+        self._fault_spec = config.resolved_shard_fault_plan
+        self._config = config
+        self._ctx = mp.get_context(self.start_method)
         self._pool: Optional[SegmentPool] = (
             SegmentPool() if self.transport == "shm" else None
         )
-        self._channels: List[ParentChannel] = []
-        self._procs = []
-        for index in range(shard_count):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_shard_worker,
-                args=(child, config, index, shard_count, self.transport),
-                daemon=True,
-                name=f"repro-shard-{index}",
-            )
-            proc.start()
-            child.close()
-            self._channels.append(ParentChannel(parent, self._pool, BULK_CALLS))
-            self._procs.append(proc)
+        self._channels: List[Optional[ParentChannel]] = [None] * shard_count
+        self._procs: List[Optional[mp.process.BaseProcess]] = [None] * shard_count
+        self._incarnations: List[int] = [0] * shard_count
+        #: A poisoned channel saw a timeout or EOF: its request/reply
+        #: alternation can no longer be trusted (a late reply may still
+        #: arrive), so sends fail until restart_worker replaces it.
+        self._poisoned: List[bool] = [False] * shard_count
         self._closed = False
         atexit.register(self.close)
         # Fail construction fast (bad config, import error in a worker)
-        # instead of on the first routed batch.
-        self.map([("ping", ())] * shard_count)
+        # instead of on the first routed batch — and if it does fail,
+        # tear down whatever was already started: without the close()
+        # here, the started workers and the segment pool would leak
+        # until interpreter exit.
+        try:
+            for index in range(shard_count):
+                self._spawn(index)
+            for index in range(shard_count):
+                self._send(index, "ping", ())
+            for index in range(shard_count):
+                self._recv(index, timeout=self._startup_timeout())
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _startup_timeout(self) -> float:
+        return max(self.call_timeout, STARTUP_TIMEOUT_FLOOR)
+
+    def _spawn(self, index: int) -> None:
+        """Start shard ``index``'s worker on a fresh pipe."""
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker,
+            args=(
+                child,
+                self._config,
+                index,
+                self.shard_count,
+                self.transport,
+                self._fault_spec,
+                self._incarnations[index],
+            ),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+        proc.start()
+        child.close()
+        self._channels[index] = ParentChannel(parent, self._pool, BULK_CALLS)
+        self._procs[index] = proc
+        self._poisoned[index] = False
+
+    def _reap(self, proc, graceful: bool) -> None:
+        """Make one worker process fully gone and release its handle.
+
+        ``graceful`` first waits for a clean exit (the shutdown
+        sentinel was sent); then terminate, then — for a worker that
+        ignores SIGTERM, e.g. one that is SIGSTOP'd — SIGKILL.  The
+        final ``proc.close()`` releases the ``Process`` object so a
+        long-lived parent opening many executors leaks nothing.
+        """
+        if proc is None:
+            return
+        if graceful:
+            proc.join(timeout=REAP_TIMEOUT)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=REAP_TIMEOUT)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=REAP_TIMEOUT)
+        try:
+            proc.close()
+        except ValueError:  # pragma: no cover - unkillable process
+            pass
+
+    def restart_worker(self, index: int) -> None:
+        """Kill shard ``index``'s worker and respawn it, state empty.
+
+        The recovery primitive the supervisor drives after a death or
+        timeout: the straggler is reaped (terminate, then kill), its
+        channel's segment leases return to the pool, and a fresh
+        worker starts on a fresh pipe with a bumped incarnation
+        number.  Fails fast — within the startup deadline — if the
+        respawned worker does not answer its liveness ping.  The new
+        worker's backend is *empty*; rebuilding its state is the
+        caller's job (the supervisor replays its journal).
+        """
+        self._ensure_open()
+        self._reap(self._procs[index], graceful=False)
+        self._procs[index] = None
+        channel = self._channels[index]
+        if channel is not None:
+            try:
+                channel.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            channel.release_leases()
+            self._channels[index] = None
+        self._incarnations[index] += 1
+        self._spawn(index)
+        self._send(index, "ping", ())
+        self._recv(index, timeout=self._startup_timeout())
+
+    def restart_count(self, index: int) -> int:
+        """How many times shard ``index``'s worker has been respawned."""
+        return self._incarnations[index]
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ReproError(
+                "this process shard executor is closed; calls after "
+                "close() are a lifecycle bug in the caller"
+            )
 
     def _send(self, shard_index: int, method: str, args: Tuple) -> None:
+        if self._poisoned[shard_index]:
+            raise ShardWorkerLost(
+                f"shard worker {shard_index}'s channel is poisoned by an "
+                f"earlier timeout or death; the worker must be restarted "
+                f"before it can serve calls again"
+            )
         try:
             self._channels[shard_index].send_call(method, args)
         except (BrokenPipeError, OSError) as exc:
-            raise ReproError(
-                f"shard worker {shard_index} is gone (pipe closed); "
-                f"the sharded engine cannot continue"
+            self._poisoned[shard_index] = True
+            raise ShardWorkerLost(
+                f"shard worker {shard_index} is gone (pipe closed)"
             ) from exc
 
-    def _recv(self, shard_index: int) -> Any:
+    def _recv(self, shard_index: int, timeout: Optional[float] = None) -> Any:
+        if timeout is None:
+            timeout = self.call_timeout
         try:
-            return self._channels[shard_index].recv_reply()
+            return self._channels[shard_index].recv_reply(timeout=timeout)
         except EOFError as exc:
-            raise ReproError(
-                f"shard worker {shard_index} died mid-call; "
-                f"the sharded engine cannot continue"
+            self._poisoned[shard_index] = True
+            raise ShardWorkerLost(
+                f"shard worker {shard_index} died mid-call"
+            ) from exc
+        except ShardTimeoutError as exc:
+            self._poisoned[shard_index] = True
+            raise ShardTimeoutError(
+                f"shard worker {shard_index} did not reply within "
+                f"{timeout:g}s (shard_call_timeout); the worker is hung "
+                f"and must be restarted before it can serve calls again"
             ) from exc
 
     def call(self, shard_index: int, method: str, *args) -> Any:
+        self._ensure_open()
         self._send(shard_index, method, args)
         return self._recv(shard_index)
 
-    def map(self, calls: Sequence[Call]) -> List[Any]:
-        """One result (or ``None``) per shard, all shards in flight at once."""
+    def map_scatter(self, calls: Sequence[Call]) -> List[Any]:
+        """One outcome per shard: results and *failures*, never a raise.
+
+        The supervised fan-out primitive: every involved shard's reply
+        is drained (leaving one in a pipe would desynchronize the next
+        round), and a shard's failure comes back as the exception
+        object in its slot instead of aborting the whole round — so
+        the supervisor can recover exactly the shards that failed and
+        keep every healthy shard's result.
+        """
+        self._ensure_open()
+        results: List[Any] = [None] * len(calls)
         involved = []
         for index, call in enumerate(calls):
-            if call is not None:
+            if call is None:
+                continue
+            try:
                 self._send(index, call[0], call[1])
-                involved.append(index)
-        results: List[Any] = [None] * len(calls)
-        failure: Optional[BaseException] = None
+            except RECOVERABLE_FAILURES as exc:
+                results[index] = exc
+                continue
+            involved.append(index)
         for index in involved:
-            # Always drain every reply, even after a failure: leaving a
-            # response in a pipe would desynchronize the next round.
             try:
                 results[index] = self._recv(index)
             except BaseException as exc:  # noqa: BLE001
-                if failure is None:
-                    failure = exc
-        if failure is not None:
-            raise failure
+                results[index] = exc
         return results
 
+    def map(self, calls: Sequence[Call]) -> List[Any]:
+        """One result (or ``None``) per shard, all shards in flight at once.
+
+        Raises the first failure in shard order (after draining every
+        reply); unsupervised deployments keep their fail-fast
+        behavior, supervised ones go through :meth:`map_scatter`.
+        """
+        results = self.map_scatter(calls)
+        for outcome in results:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return results
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
     def close(self) -> None:
-        """Shut down workers and unlink every segment; idempotent."""
+        """Shut down workers and unlink every segment; idempotent.
+
+        Healthy workers get the shutdown sentinel and a graceful join;
+        stragglers are escalated terminate → kill, and every
+        ``Process`` object is released (``proc.close()``) so nothing
+        leaks in long-lived parents — even after worker crashes or
+        hangs.
+        """
         if self._closed:
             return
         self._closed = True
         # Drop the atexit reference so closed executors can be GC'd in
         # long-lived processes that open many sharded engines.
         atexit.unregister(self.close)
-        for channel in self._channels:
+        for index, channel in enumerate(self._channels):
+            if channel is None or self._poisoned[index]:
+                continue
             try:
                 channel.conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - watchdog path
-                proc.terminate()
-        for channel in self._channels:
-            channel.conn.close()
+        for index, proc in enumerate(self._procs):
+            # A poisoned shard's worker is hung or dead: skip the
+            # graceful wait and go straight to terminate/kill.
+            self._reap(proc, graceful=not self._poisoned[index])
+            self._procs[index] = None
+        for index, channel in enumerate(self._channels):
+            if channel is None:
+                continue
+            try:
+                channel.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self._channels[index] = None
         # Last: every segment is parent-owned, so this unlinks the whole
         # payload plane even if workers crashed mid-call.
         if self._pool is not None:

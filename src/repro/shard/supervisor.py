@@ -1,0 +1,206 @@
+"""Supervised worker recovery: journal, restart, exact replay.
+
+A single worker death used to brick the whole sharded engine, and a
+hung worker hung the parent with it.  The
+:class:`ShardSupervisor` sits between the router and the
+:class:`repro.shard.executors.ProcessShardExecutor` and turns both
+failures into a bounded, provably-exact recovery:
+
+* **Journal.**  Every state-mutating call
+  (:data:`repro.shard.backend.MUTATING_CALLS` — ``ingest`` /
+  ``delete_many``) that *succeeds* is appended to a per-shard
+  write-ahead journal.  A shard worker is a pure function of its call
+  history — it is constructed from ``(config, index, count)`` alone
+  and every engine update path is deterministic — so the journal *is*
+  the shard's state, in replayable form.
+* **Recovery.**  When a call fails with a recoverable failure
+  (:class:`repro.shard.executors.ShardWorkerLost` — the worker died —
+  or :class:`repro.errors.ShardTimeoutError` — it hung), the
+  supervisor has the executor kill the straggler and respawn the
+  worker (fresh pipe, bumped incarnation), replays the shard's
+  journal against the empty backend, and retries the in-flight call.
+  Replay rebuilds state *exactly*: at ``rho = 0`` the recovered
+  deployment's query and snapshot sequences are bit-identical to an
+  unsharded engine's, the same differential bar the router already
+  clears — proven by the chaos suite under injected crashes and
+  hangs.  Whether the dying worker had half-applied the failed call
+  is irrelevant: its state is discarded wholesale and rebuilt from
+  calls that are known to have succeeded.
+* **Bounds.**  Restarts are budgeted per shard
+  (``EngineConfig.shard_max_restarts``); exhausting the budget raises
+  a :class:`repro.errors.ReproError` that names it.  A budget of 0
+  disables recovery — the fail-fast pre-supervision behavior.
+  Restart counts surface in ``ShardedStats.restarts`` and
+  ``RunResult.restarts``.
+
+Relayed *backend* exceptions (a bad batch, an injected ``error``
+fault) are not failures of the worker and propagate untouched — the
+worker survived them, nothing needs rebuilding.
+
+The journal holds references to the routed argument arrays, so its
+memory footprint grows with update history; snapshot-based truncation
+is the ROADMAP follow-on, alongside reusing this supervision layer for
+the planned RPC executor (the journal/replay contract is
+transport-agnostic).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from repro.api.config import EngineConfig
+from repro.errors import ReproError
+from repro.shard.backend import MUTATING_CALLS
+from repro.shard.executors import (
+    RECOVERABLE_FAILURES,
+    Call,
+    ProcessShardExecutor,
+)
+
+
+class ShardSupervisor:
+    """Executor wrapper adding journaling and restart-with-replay.
+
+    Exposes the executor surface the router drives (``call`` / ``map``
+    / ``shard_count`` / ``transport`` / ``close``), so supervision is
+    invisible to the routing and merge paths — it changes only what
+    happens when a worker dies or hangs.
+    """
+
+    def __init__(
+        self, executor: ProcessShardExecutor, config: EngineConfig
+    ) -> None:
+        self._executor = executor
+        self.shard_count = executor.shard_count
+        self.max_restarts = config.resolved_shard_max_restarts
+        self._journal: List[List[Tuple[str, Tuple[Any, ...]]]] = [
+            [] for _ in range(executor.shard_count)
+        ]
+        self._restarts = [0] * executor.shard_count
+
+    # ------------------------------------------------------------------
+    # Introspection (delegated or supervision-specific)
+    # ------------------------------------------------------------------
+
+    @property
+    def executor(self) -> ProcessShardExecutor:
+        """The supervised executor (escape hatch for tests/tools)."""
+        return self._executor
+
+    @property
+    def transport(self) -> str:
+        return self._executor.transport
+
+    @property
+    def start_method(self) -> str:
+        return self._executor.start_method
+
+    @property
+    def restarts(self) -> int:
+        """Worker restarts performed over this deployment's lifetime."""
+        return sum(self._restarts)
+
+    @property
+    def restarts_per_shard(self) -> Tuple[int, ...]:
+        return tuple(self._restarts)
+
+    def journal_size(self, shard_index: int) -> int:
+        """Journaled mutating calls held for one shard (test surface)."""
+        return len(self._journal[shard_index])
+
+    # ------------------------------------------------------------------
+    # Recovery core
+    # ------------------------------------------------------------------
+
+    def _recover(self, shard_index: int, cause: BaseException) -> None:
+        """Restart shard ``shard_index`` and replay its journal.
+
+        Loops (within the budget) because the respawn ping or the
+        replay itself can fail recoverably again — e.g. a fault plan
+        pinned to a later incarnation.  Every attempt restarts from an
+        empty backend, so a partial previous replay leaves nothing
+        behind.
+        """
+        while True:
+            if self._restarts[shard_index] >= self.max_restarts:
+                raise ReproError(
+                    f"shard {shard_index} exhausted its restart budget "
+                    f"(shard_max_restarts={self.max_restarts}) and cannot "
+                    f"be recovered; last failure: {cause}"
+                ) from cause
+            self._restarts[shard_index] += 1
+            try:
+                self._executor.restart_worker(shard_index)
+                for method, args in self._journal[shard_index]:
+                    self._executor.call(shard_index, method, *args)
+                return
+            except RECOVERABLE_FAILURES as exc:
+                cause = exc
+            except ReproError as exc:
+                # A journaled call failing on replay means the replayed
+                # state diverged from the recorded history — that is a
+                # supervision bug, not a worker failure; do not retry.
+                raise ReproError(
+                    f"journal replay diverged while recovering shard "
+                    f"{shard_index}: a call that previously succeeded "
+                    f"failed on replay ({exc})"
+                ) from exc
+
+    def _attempt(
+        self, shard_index: int, method: str, args: Tuple[Any, ...]
+    ) -> Any:
+        """One call, recovering-and-retrying until success or budget end."""
+        while True:
+            try:
+                return self._executor.call(shard_index, method, *args)
+            except RECOVERABLE_FAILURES as exc:
+                self._recover(shard_index, exc)
+
+    def _record(self, shard_index: int, call: Tuple[str, Tuple]) -> None:
+        if call[0] in MUTATING_CALLS:
+            self._journal[shard_index].append((call[0], call[1]))
+
+    # ------------------------------------------------------------------
+    # The executor surface
+    # ------------------------------------------------------------------
+
+    def call(self, shard_index: int, method: str, *args) -> Any:
+        result = self._attempt(shard_index, method, args)
+        self._record(shard_index, (method, args))
+        return result
+
+    def map(self, calls: Sequence[Call]) -> List[Any]:
+        """One result (or ``None``) per shard, failures recovered per shard.
+
+        The healthy shards' results from the overlapped fan-out are
+        kept; each failed shard is restarted, replayed and retried
+        individually.  Only a shard whose *retry chain* exhausts the
+        budget (or a relayed backend exception) surfaces — first in
+        shard order, matching the executor's own ``map``.
+        """
+        outcomes = self._executor.map_scatter(calls)
+        failure = None
+        for index, call in enumerate(calls):
+            if call is None:
+                continue
+            outcome = outcomes[index]
+            if isinstance(outcome, RECOVERABLE_FAILURES):
+                try:
+                    self._recover(index, outcome)
+                    outcome = self._attempt(index, call[0], call[1])
+                except BaseException as exc:  # noqa: BLE001
+                    if failure is None:
+                        failure = exc
+                    continue
+            elif isinstance(outcome, BaseException):
+                if failure is None:
+                    failure = outcome
+                continue
+            outcomes[index] = outcome
+            self._record(index, call)
+        if failure is not None:
+            raise failure
+        return outcomes
+
+    def close(self) -> None:
+        self._executor.close()

@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import time
 import traceback
 from dataclasses import dataclass, fields, is_dataclass
 from dataclasses import replace as dataclass_replace
@@ -70,7 +71,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ShardTimeoutError
 
 #: Process-executor transports: ``pickle`` ships whole messages through
 #: the pipe (the PR 5 baseline), ``shm`` moves bulk arrays through
@@ -360,13 +361,31 @@ class ParentChannel:
         entries = write_payloads(self._req, arrays)
         self.conn.send(("call", method, control, (self._req.name, entries)))
 
-    def recv_reply(self) -> Any:
+    def recv_reply(self, timeout: Optional[float] = None) -> Any:
         """One reply; raises relayed exceptions, services grow requests.
 
-        May raise ``EOFError`` if the worker died — the executor maps
-        that to a :class:`ReproError` with channel context.
+        ``timeout`` bounds the whole wait (grow handshakes included)
+        with a ``poll``-based deadline: a worker that never replies —
+        hung, deadlocked, SIGSTOP'd — raises
+        :class:`repro.errors.ShardTimeoutError` instead of blocking
+        the parent forever.  ``None`` waits indefinitely.  May raise
+        ``EOFError`` if the worker died (its pipe end closes, so death
+        surfaces promptly even under a long deadline) — the executor
+        maps both to shard-context errors.
+
+        After a timeout the channel is **desynchronized**: the
+        worker's reply may still arrive later, so the channel must not
+        be reused — the executor poisons it until the worker is
+        restarted on a fresh pipe.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self.conn.poll(remaining):
+                    raise ShardTimeoutError(
+                        f"no reply within {timeout:g}s"
+                    )
             message = self.conn.recv()
             tag = message[0]
             if tag == "grow":

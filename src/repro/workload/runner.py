@@ -103,7 +103,10 @@ class RunResult:
     ``"pickle"``/``"shm"`` for the process executor, ``""`` for an
     unsharded run), so benchmark files and reports can attribute
     numbers to the compute substrate and deployment shape that
-    generated them.
+    generated them.  ``restarts`` counts supervised shard-worker
+    recoveries during the run (always 0 for unsharded and serial
+    deployments) — a run that survived worker deaths says so in its
+    record.
     """
 
     op_kinds: List[str] = field(default_factory=list)
@@ -112,6 +115,7 @@ class RunResult:
     backend: str = ""
     shards: int = 1
     transport: str = ""
+    restarts: int = 0
 
     def _sizes(self) -> List[int]:
         # Hand-built results may omit sizes; treat every entry as 1 op.
@@ -323,4 +327,5 @@ def run_workload_engine(
     result.shards = engine.config.shards or 1
     if engine.config.shards:
         result.transport = engine.config.resolved_shard_transport
+        result.restarts = getattr(engine, "restarts", 0)
     return result

@@ -28,6 +28,7 @@ EXPECTED_API_ALL = [
     "InvalidQueryError",
     "QueryOutcome",
     "ReproError",
+    "ShardTimeoutError",
     "ShardedEngine",
     "ShardedStats",
     "Snapshot",
@@ -55,6 +56,7 @@ EXPECTED_REPRO_ALL = [
     "ReproError",
     "RunResult",
     "SemiDynamicClusterer",
+    "ShardTimeoutError",
     "ShardedEngine",
     "ShardedStats",
     "Snapshot",
@@ -83,6 +85,7 @@ EXPECTED_ERRORS_ALL = [
     "UnknownPointError",
     "InvalidQueryError",
     "UnsupportedOperationError",
+    "ShardTimeoutError",
 ]
 
 

@@ -14,15 +14,21 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 
 import numpy as np
 import pytest
 
 import repro.api as api
 from repro.api.config import EngineConfig
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError, ReproError, ShardTimeoutError
 from repro.shard import executors as executors_mod
-from repro.shard.executors import ProcessShardExecutor, SerialShardExecutor
+from repro.shard.executors import (
+    REAP_TIMEOUT,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardWorkerLost,
+)
 from repro.shard.transport import SegmentPool
 
 
@@ -190,7 +196,10 @@ def test_shm_reply_views_are_read_only():
 def test_process_executor_double_close(process_executor):
     process_executor.close()
     process_executor.close()
-    assert all(not proc.is_alive() for proc in process_executor._procs)
+    # close() releases every Process handle (proc.close()) after the
+    # join/terminate/kill escalation, so no zombie or dead handle is
+    # retained — the slots are cleared outright.
+    assert process_executor._procs == [None, None]
 
 
 def test_serial_executor_close_closes_engines_and_is_idempotent():
@@ -201,6 +210,86 @@ def test_serial_executor_close_closes_engines_and_is_idempotent():
     executor.close()
     executor.close()
     assert all(backend.engine.closed for backend in backends)
+
+
+def test_serial_executor_use_after_close_raises():
+    executor = SerialShardExecutor(_config(shard_executor="serial"), 2)
+    executor.close()
+    with pytest.raises(ReproError, match="closed"):
+        executor.call(0, "ping")
+    with pytest.raises(ReproError, match="closed"):
+        executor.map([("ping", ()), None])
+
+
+def test_process_executor_use_after_close_raises(process_executor):
+    process_executor.close()
+    with pytest.raises(ReproError, match="closed"):
+        process_executor.call(0, "ping")
+    with pytest.raises(ReproError, match="closed"):
+        process_executor.map([("ping", ()), ("ping", ())])
+    with pytest.raises(ReproError, match="closed"):
+        process_executor.restart_worker(0)
+
+
+def test_failed_construction_does_not_leak_workers_or_segments():
+    # crash:ping:1 kills every worker at the construction liveness ping,
+    # so __init__ itself fails — and must tear down whatever it already
+    # started instead of leaking processes and the segment pool.
+    config = _config(shard_transport="shm", shard_fault_plan="crash:ping:1")
+    with pytest.raises(ReproError, match="shard worker"):
+        ProcessShardExecutor(config, 2)
+    deadline = time.monotonic() + REAP_TIMEOUT
+    while time.monotonic() < deadline:
+        stragglers = [
+            proc
+            for proc in mp.active_children()
+            if proc.name.startswith("repro-shard-")
+        ]
+        if not stragglers:
+            break
+        time.sleep(0.05)
+    assert stragglers == []
+    leftover = [
+        entry
+        for entry in os.listdir("/dev/shm")
+        if entry.startswith(f"repro-shm-{os.getpid()}-")
+    ]
+    assert leftover == []
+
+
+def test_close_with_hung_worker_terminates_promptly():
+    # The construction ping is ping #1, so the fault arms on the first
+    # user-issued ping.  After the timeout the channel is poisoned; a
+    # close() must escalate terminate -> kill instead of waiting on the
+    # graceful join, and still release every handle.
+    config = _config(
+        shard_fault_plan="hang:ping:2:shard=0", shard_call_timeout=0.5
+    )
+    executor = ProcessShardExecutor(config, 2)
+    with pytest.raises(ShardTimeoutError, match="shard worker 0"):
+        executor.call(0, "ping")
+    # The poisoned channel refuses further traffic until a restart.
+    with pytest.raises(ShardWorkerLost, match="poisoned"):
+        executor.call(0, "ping")
+    start = time.monotonic()
+    executor.close()
+    assert time.monotonic() - start < REAP_TIMEOUT + 5.0
+    assert executor._procs == [None, None]
+
+
+def test_restart_worker_replaces_a_dead_worker(process_executor):
+    process_executor._procs[0].kill()
+    process_executor._procs[0].join(timeout=5)
+    with pytest.raises(ReproError, match="shard worker 0"):
+        for _ in range(3):
+            process_executor.call(0, "ping")
+    assert process_executor.restart_count(0) == 0
+    process_executor.restart_worker(0)
+    assert process_executor.restart_count(0) == 1
+    # The fresh worker answers on a fresh, unpoisoned pipe; the
+    # untouched shard never noticed.
+    assert process_executor.call(0, "ping") == 0
+    assert process_executor.call(1, "ping") == 1
 
 
 def test_sharded_engine_close_reaches_per_shard_engines():
@@ -294,3 +383,73 @@ def test_start_method_resolution_chain(monkeypatch):
     monkeypatch.setenv("REPRO_SHARD_START_METHOD", "teleport")
     with pytest.raises(ConfigError, match="REPRO_SHARD_START_METHOD"):
         _config().resolved_shard_start_method
+
+
+def test_fault_tolerance_knobs_require_sharding():
+    with pytest.raises(ConfigError, match="requires shards"):
+        EngineConfig(eps=3.0, minpts=5, shard_call_timeout=5.0)
+    with pytest.raises(ConfigError, match="requires shards"):
+        EngineConfig(eps=3.0, minpts=5, shard_max_restarts=1)
+    with pytest.raises(ConfigError, match="requires shards"):
+        EngineConfig(eps=3.0, minpts=5, shard_fault_plan="crash:ingest:1")
+
+
+def test_fault_tolerance_knob_values_are_validated():
+    with pytest.raises(ConfigError, match="shard_call_timeout"):
+        _config(shard_call_timeout=0)
+    with pytest.raises(ConfigError, match="shard_call_timeout"):
+        _config(shard_call_timeout=float("inf"))
+    with pytest.raises(ConfigError, match="shard_max_restarts"):
+        _config(shard_max_restarts=-1)
+    with pytest.raises(ConfigError, match="shard_max_restarts"):
+        _config(shard_max_restarts=1.5)
+    with pytest.raises(ConfigError, match="process"):
+        _config(shard_executor="serial", shard_fault_plan="crash:ingest:1")
+    with pytest.raises(ConfigError, match="fault kind"):
+        _config(shard_fault_plan="teleport:ingest:1")
+    with pytest.raises(ConfigError, match="call index"):
+        _config(shard_fault_plan="crash:ingest:0")
+
+
+def test_call_timeout_resolution_chain(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARD_CALL_TIMEOUT", raising=False)
+    assert _config().resolved_shard_call_timeout == 60.0
+    assert _config(shard_call_timeout=2.5).resolved_shard_call_timeout == 2.5
+    monkeypatch.setenv("REPRO_SHARD_CALL_TIMEOUT", "12")
+    assert _config().resolved_shard_call_timeout == 12.0
+    # Explicit knob beats the environment.
+    assert _config(shard_call_timeout=2.5).resolved_shard_call_timeout == 2.5
+    monkeypatch.setenv("REPRO_SHARD_CALL_TIMEOUT", "-3")
+    with pytest.raises(ConfigError, match="REPRO_SHARD_CALL_TIMEOUT"):
+        _config().resolved_shard_call_timeout
+    monkeypatch.setenv("REPRO_SHARD_CALL_TIMEOUT", "soon")
+    with pytest.raises(ConfigError, match="REPRO_SHARD_CALL_TIMEOUT"):
+        _config().resolved_shard_call_timeout
+
+
+def test_max_restarts_resolution_chain(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARD_MAX_RESTARTS", raising=False)
+    assert _config().resolved_shard_max_restarts == 3
+    assert _config(shard_max_restarts=0).resolved_shard_max_restarts == 0
+    monkeypatch.setenv("REPRO_SHARD_MAX_RESTARTS", "7")
+    assert _config().resolved_shard_max_restarts == 7
+    assert _config(shard_max_restarts=1).resolved_shard_max_restarts == 1
+    monkeypatch.setenv("REPRO_SHARD_MAX_RESTARTS", "many")
+    with pytest.raises(ConfigError, match="REPRO_SHARD_MAX_RESTARTS"):
+        _config().resolved_shard_max_restarts
+
+
+def test_fault_plan_resolution_chain(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    assert _config().resolved_shard_fault_plan is None
+    plan = "crash:ingest:1"
+    assert _config(shard_fault_plan=plan).resolved_shard_fault_plan == plan
+    monkeypatch.setenv("REPRO_FAULT_PLAN", "hang:ping:1")
+    assert _config().resolved_shard_fault_plan == "hang:ping:1"
+    assert _config(shard_fault_plan=plan).resolved_shard_fault_plan == plan
+    # The serial executor has no worker processes to inject into.
+    serial = _config(shard_executor="serial")
+    assert serial.resolved_shard_fault_plan is None
+    monkeypatch.setenv("REPRO_FAULT_PLAN", "bogus")
+    with pytest.raises(ConfigError, match="REPRO_FAULT_PLAN"):
+        _config().resolved_shard_fault_plan

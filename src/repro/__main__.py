@@ -43,6 +43,7 @@ def _engine_for(
     shard_executor: str | None = None,
     shard_transport: str | None = None,
     shard_call_timeout: float | None = None,
+    fragment_cache: bool | None = None,
 ):
     """One benchmark engine: the CLI's bench path runs through repro.api."""
     # Exact and rho-free algorithms ignore --rho (matching the historical
@@ -63,6 +64,7 @@ def _engine_for(
         shard_executor=shard_executor if shards else None,
         shard_transport=shard_transport if shards else None,
         shard_call_timeout=shard_call_timeout if shards else None,
+        fragment_cache=fragment_cache,
     )
     return repro.api.open(config)
 
@@ -118,6 +120,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(str(exc), file=sys.stderr)
             return 2
         shard_transport = probe.resolved_shard_transport
+    fragment_cache = (
+        None if args.fragment_cache is None else args.fragment_cache == "on"
+    )
     insert_fraction = 1.0 if args.semi else args.insert_fraction
     workload = generate_workload(
         args.n,
@@ -187,6 +192,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             args.shard_executor,
             args.shard_transport,
             args.shard_call_timeout,
+            fragment_cache,
         )
         result = run_workload_engine(engine, workload)
         queries = result.query_costs()
@@ -214,6 +220,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "shards": result.shards,
             "transport": result.transport,
             "restarts": result.restarts,
+            "fragment_cache": engine.config.resolved_fragment_cache,
+            "fragment_hits": result.fragment_hits,
+            "fragment_misses": result.fragment_misses,
+            "fragment_invalidations": result.fragment_invalidations,
             "config": engine.config.as_dict(),
         }
         if args.shards:
@@ -341,6 +351,15 @@ def build_parser() -> argparse.ArgumentParser:
         "the supervisor) instead of hanging the run (default: "
         "REPRO_SHARD_CALL_TIMEOUT or 60); only meaningful with --shards "
         "--shard-executor process",
+    )
+    bench.add_argument(
+        "--fragment-cache",
+        choices=("on", "off"),
+        default=None,
+        help="incremental fragment cache of the grid clusterers: "
+        "memoize per-cell barrier fragments with cell-level "
+        "invalidation (default: REPRO_FRAGMENT_CACHE or on; "
+        "hit/miss/invalidation counters land in the result record)",
     )
     bench.add_argument(
         "--format",

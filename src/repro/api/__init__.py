@@ -39,6 +39,7 @@ from repro.api.config import (
 )
 from repro.api.engine import Engine, EngineStats, QueryOutcome, Snapshot
 from repro.api.session import IngestSession
+from repro.core.fragments import FragmentCacheStats
 from repro.errors import (
     ConfigError,
     InvalidQueryError,
@@ -88,6 +89,7 @@ __all__ = [
     "Engine",
     "EngineConfig",
     "EngineStats",
+    "FragmentCacheStats",
     "IngestSession",
     "InvalidQueryError",
     "QueryOutcome",

@@ -134,7 +134,11 @@ class EngineConfig:
     for chaos testing; process executor only) — all requiring
     ``shards``, each with an environment fallback
     (``REPRO_SHARD_CALL_TIMEOUT`` / ``REPRO_SHARD_MAX_RESTARTS`` /
-    ``REPRO_FAULT_PLAN``).
+    ``REPRO_FAULT_PLAN``).  ``fragment_cache`` toggles the incremental
+    fragment cache of the grid clusterers (memoized per-cell barrier
+    fragments with cell-level invalidation; default on, env fallback
+    ``REPRO_FRAGMENT_CACHE``) — cache hit/miss/invalidation counters
+    surface in :class:`repro.api.EngineStats`.
 
     ``algorithm`` accepts the canonical Section 8 names
     (``semi-exact``, ``semi-approx``, ``full-exact``, ``double-approx``,
@@ -164,6 +168,7 @@ class EngineConfig:
     shard_call_timeout: Optional[float] = None
     shard_max_restarts: Optional[int] = None
     shard_fault_plan: Optional[str] = None
+    fragment_cache: Optional[bool] = None
 
     def __post_init__(self) -> None:
         algorithm = self.algorithm
@@ -359,6 +364,14 @@ class EngineConfig:
             from repro.shard.faults import parse_fault_plan
 
             parse_fault_plan(self.shard_fault_plan)
+        if self.fragment_cache is not None and not isinstance(
+            self.fragment_cache, bool
+        ):
+            raise ConfigError(
+                f"fragment_cache must be a bool or None (None defers to "
+                f"the REPRO_FRAGMENT_CACHE environment variable), got "
+                f"{self.fragment_cache!r}"
+            )
 
     # ------------------------------------------------------------------
     # Derived views
@@ -493,6 +506,20 @@ class EngineConfig:
         return DEFAULT_SHARD_MAX_RESTARTS
 
     @property
+    def resolved_fragment_cache(self) -> bool:
+        """Whether the built clusterers memoize barrier fragments.
+
+        The explicit ``fragment_cache`` knob if set, else the
+        ``REPRO_FRAGMENT_CACHE`` environment variable, else on (the
+        cache is invisible in results — exact at ``rho = 0``,
+        sandwich-legal above).
+        """
+        # Imported lazily: repro.core pulls in the kernel registry.
+        from repro.core.fragments import resolve_fragment_cache
+
+        return resolve_fragment_cache(self.fragment_cache)
+
+    @property
     def resolved_shard_fault_plan(self) -> Optional[str]:
         """The fault plan worker processes consult, or ``None``.
 
@@ -539,11 +566,19 @@ class EngineConfig:
         algorithm = self.resolved_algorithm
         if algorithm.startswith("semi"):
             return SemiDynamicClusterer(
-                self.eps, self.minpts, rho=self.effective_rho, dim=self.dim
+                self.eps,
+                self.minpts,
+                rho=self.effective_rho,
+                dim=self.dim,
+                fragment_cache=self.fragment_cache,
             )
         if algorithm in ("full-exact", "double-approx"):
             return FullyDynamicClusterer(
-                self.eps, self.minpts, rho=self.effective_rho, dim=self.dim
+                self.eps,
+                self.minpts,
+                rho=self.effective_rho,
+                dim=self.dim,
+                fragment_cache=self.fragment_cache,
             )
         if algorithm == "incdbscan":
             return IncDBSCAN(self.eps, self.minpts, dim=self.dim)

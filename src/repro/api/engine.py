@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 from repro import kernels
 from repro.api.config import EngineConfig
 from repro.core.framework import CGroupByResult, Clustering
+from repro.core.fragments import FragmentCacheStats
 from repro.errors import ConfigError, UnsupportedOperationError
 
 
@@ -95,6 +96,9 @@ class EngineStats:
     algorithm: str
     config: EngineConfig
     cells: Optional[int] = None  # grid-based algorithms only
+    # Incremental fragment cache counters (grid-based algorithms with
+    # the cache enabled; None otherwise).
+    fragment_cache: Optional[FragmentCacheStats] = None
 
 
 class Engine:
@@ -264,6 +268,7 @@ class Engine:
 
     def stats(self) -> EngineStats:
         """Current service counters, epoch-stamped."""
+        fragment_stats = getattr(self._clusterer, "fragment_cache_stats", None)
         return EngineStats(
             points=len(self._clusterer),
             epoch=self._epoch,
@@ -271,6 +276,9 @@ class Engine:
             algorithm=self.config.resolved_algorithm,
             config=self.config,
             cells=getattr(self._clusterer, "cell_count", None),
+            fragment_cache=(
+                fragment_stats() if fragment_stats is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -269,6 +269,7 @@ class IncDBSCAN(SequentialBulkMixin, SequentialQueryMixin):
         return Clustering(clusters=result.group_sets(), noise=set(result.noise))
 
     def same_cluster(self, pid_a: int, pid_b: int) -> bool:
+        validated_query_pids((pid_a, pid_b), self._points)
         a = set(self._cluster_ids_of(pid_a))
         if not a:
             return False

@@ -124,6 +124,7 @@ class RecomputeClusterer(SequentialBulkMixin, SequentialQueryMixin):
         )
 
     def same_cluster(self, pid_a: int, pid_b: int) -> bool:
+        validated_query_pids((pid_a, pid_b), self._points)
         ref = self._refresh()
         position = {k: i for i, k in enumerate(self._cache_keys)}
         a, b = position[pid_a], position[pid_b]

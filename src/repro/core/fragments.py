@@ -1,0 +1,275 @@
+"""Incremental fragment cache — cell-level invalidation (ROADMAP item).
+
+The paper's thesis is "pay only for what changed"; this module applies
+it one level up, to the *query* side.  A :class:`FragmentCache` memoizes
+the two per-cell artifacts every barrier used to recompute from
+scratch:
+
+* **membership fragments** — one :class:`CellFragment` per queried grid
+  cell: the resolved memberships of *all* of that cell's points, keyed
+  by the core cell granting each membership (not by CC id — component
+  ids drift globally on every union/split, while the granted-by-cell
+  decomposition only changes when the local neighborhood does);
+* **GUM edge decisions** — one boolean per close trusted core-cell pair
+  ``(a, b)`` with ``a < b``: whether an exact witness pair within
+  ``(1+rho) eps`` exists.  Per-cell core-coordinate arrays (the witness
+  inputs, also the shard merge's frontier payload) are memoized along
+  with them.
+
+Invalidation is **eager and cell-local**.  When a mutation touches cell
+set ``T``, core status can change only in ``ring1 = T ∪ N(T)`` (a ball
+count reaches at most one closeness step); a cell's membership fragment
+additionally depends on its neighbors' core sets, so fragments die for
+``ring2 = ring1 ∪ N(ring1)``; GUM pair decisions and core coordinates
+die for pairs/cells meeting ``ring1``.  The rings are derived by the
+owner (:meth:`repro.core.framework.GridClusterer._touch_cells`) from
+the grid's own neighbor links, which is why insert paths must touch
+*after* linking new cells and delete paths *before* unlinking emptied
+ones.  Eagerness matters: a lazy validity check is unsound once a
+recompute clears the dirty mark while stale dependent entries survive.
+
+Trust safety: every entry is implicitly keyed by the trust predicate it
+was computed under (by object identity — the shard backends pass one
+stable predicate per deployment, single engines pass ``None``).  A
+lookup under a different predicate flushes the cache first, so a
+fragment resolved with one shard's authority can never serve another.
+
+Reuse legality: with ``rho = 0`` every cached decision is exact and
+deterministic, so cache-on results are bit-identical to cache-off.
+With ``rho > 0`` a cached fragment is a previously *legal* answer for a
+neighborhood that has not changed since — replaying it is as legal as
+recomputing (the sandwich guarantee constrains answers, not when they
+were computed).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.grid import Cell
+from repro.errors import ConfigError
+
+__all__ = [
+    "CellFragment",
+    "FragmentCache",
+    "FragmentCacheStats",
+    "resolve_fragment_cache",
+]
+
+#: Environment fallback of the ``EngineConfig.fragment_cache`` knob.
+FRAGMENT_CACHE_ENV = "REPRO_FRAGMENT_CACHE"
+
+_TRUTHY = ("1", "true", "on", "yes")
+_FALSY = ("0", "false", "off", "no")
+
+#: Distinguishes "no trust predicate yet" from a ``None`` predicate
+#: (which is itself a valid token: the unrestricted single engine).
+_UNSET = object()
+
+
+def resolve_fragment_cache(explicit: Optional[bool]) -> bool:
+    """Resolve the fragment-cache knob: explicit > env > default (on).
+
+    The default is **on**: the cache is invisible in results (exact at
+    ``rho = 0``, sandwich-legal above), so every caller gets incremental
+    barriers unless deliberately opted out — and the whole test suite
+    exercises invalidation correctness.  ``REPRO_FRAGMENT_CACHE=0``
+    turns it off process-wide (the CI matrix sweeps both).
+    """
+    if explicit is not None:
+        return explicit
+    env = os.environ.get(FRAGMENT_CACHE_ENV)
+    if env:
+        lowered = env.strip().lower()
+        if lowered in _TRUTHY:
+            return True
+        if lowered in _FALSY:
+            return False
+        raise ConfigError(
+            f"{FRAGMENT_CACHE_ENV}={env!r} is not a boolean; use one of "
+            f"{'/'.join(_TRUTHY)} or {'/'.join(_FALSY)}"
+        )
+    return True
+
+
+@dataclass(frozen=True)
+class FragmentCacheStats:
+    """Cumulative hit / miss / invalidation counters of one cache.
+
+    ``hits`` and ``misses`` count cacheable per-cell lookups (a bucket
+    whose query covers every live point of its cell — always true for
+    ``Q = P`` snapshots and for the shard merge's owned-cell queries);
+    partial-query buckets bypass the cache and count nothing.
+    ``invalidations`` counts cached entries dropped by mutations (and
+    trust-predicate switches), not mutation calls.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+
+@dataclass
+class CellFragment:
+    """The resolved membership fragment of one fully-queried cell.
+
+    ``members`` maps each granting core cell to the queried ids of
+    *this* cell that belong to its cluster (own cell for core points
+    and same-cell grants; close core cells for witnessed memberships).
+    ``noise`` lists ids with no membership among trusted cells;
+    ``probes`` the ``(pid, cell)`` decisions left open because the cell
+    fell outside the resolver's trust.  Arrays are treated as immutable
+    by every consumer (splicing always copies), so one fragment can be
+    shared across queries.
+    """
+
+    members: Dict[Cell, np.ndarray] = field(default_factory=dict)
+    noise: List[int] = field(default_factory=list)
+    probes: List[Tuple[int, Cell]] = field(default_factory=list)
+
+
+class FragmentCache:
+    """Memoized per-cell fragments with eager cell-level invalidation."""
+
+    def __init__(self) -> None:
+        self._membership: Dict[Cell, CellFragment] = {}
+        self._gum: Dict[Tuple[Cell, Cell], bool] = {}
+        # Secondary index so invalidation never scans the pair store.
+        self._gum_by_cell: Dict[Cell, Set[Tuple[Cell, Cell]]] = {}
+        self._core_coords: Dict[Cell, np.ndarray] = {}
+        self._trust_token: object = _UNSET
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Trust binding
+    # ------------------------------------------------------------------
+
+    def begin(self, trust: object) -> None:
+        """Bind a query to its trust predicate (identity-compared).
+
+        Entries computed under a different predicate are unusable —
+        they may have decided against cells this predicate does not
+        trust, or probed where it would decide — so a switch flushes
+        everything.  Single engines always pass ``None`` and shard
+        backends one stable predicate object, so in practice a flush
+        only happens when one clusterer serves both roles.
+        """
+        if trust is not self._trust_token:
+            if self._trust_token is not _UNSET:
+                self._drop_all()
+            self._trust_token = trust
+
+    # ------------------------------------------------------------------
+    # Membership fragments
+    # ------------------------------------------------------------------
+
+    def lookup_membership(self, cell: Cell) -> Optional[CellFragment]:
+        """Cached fragment of a fully-queried cell (counts hit/miss)."""
+        frag = self._membership.get(cell)
+        if frag is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return frag
+
+    def store_membership(self, cell: Cell, fragment: CellFragment) -> None:
+        self._membership[cell] = fragment
+
+    # ------------------------------------------------------------------
+    # GUM edge decisions + core coordinates
+    # ------------------------------------------------------------------
+
+    def lookup_gum(self, pair: Tuple[Cell, Cell]) -> Optional[bool]:
+        """Cached edge decision of a sorted trusted core-cell pair."""
+        decision = self._gum.get(pair)
+        if decision is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return decision
+
+    def store_gum(self, pair: Tuple[Cell, Cell], decision: bool) -> None:
+        self._gum[pair] = decision
+        for endpoint in pair:
+            self._gum_by_cell.setdefault(endpoint, set()).add(pair)
+
+    def get_core_coords(self, cell: Cell) -> Optional[np.ndarray]:
+        return self._core_coords.get(cell)
+
+    def set_core_coords(self, cell: Cell, coords: np.ndarray) -> None:
+        self._core_coords[cell] = coords
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not (self._membership or self._gum or self._core_coords)
+
+    def invalidate(
+        self, member_cells: Iterable[Cell], structural_cells: Iterable[Cell]
+    ) -> None:
+        """Drop entries around mutated cells (see the module docstring).
+
+        ``structural_cells`` is ``ring1`` — every cell whose core set
+        (or existence) the mutation may have changed: GUM pairs meeting
+        it and its core-coordinate arrays die.  ``member_cells`` is
+        ``ring2 ⊇ ring1`` — membership fragments additionally depend on
+        their neighbors' core sets, so they die one closeness step
+        further out.
+        """
+        dropped = 0
+        membership = self._membership
+        for cell in member_cells:
+            if membership.pop(cell, None) is not None:
+                dropped += 1
+        gum = self._gum
+        gum_by_cell = self._gum_by_cell
+        core_coords = self._core_coords
+        for cell in structural_cells:
+            core_coords.pop(cell, None)
+            pairs = gum_by_cell.pop(cell, None)
+            if not pairs:
+                continue
+            for pair in pairs:
+                if gum.pop(pair, None) is not None:
+                    dropped += 1
+                other = pair[0] if pair[1] == cell else pair[1]
+                other_pairs = gum_by_cell.get(other)
+                if other_pairs is not None:
+                    other_pairs.discard(pair)
+                    if not other_pairs:
+                        del gum_by_cell[other]
+        self.invalidations += dropped
+
+    def _drop_all(self) -> None:
+        self.invalidations += len(self._membership) + len(self._gum)
+        self._membership.clear()
+        self._gum.clear()
+        self._gum_by_cell.clear()
+        self._core_coords.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> FragmentCacheStats:
+        """Immutable snapshot of the cumulative counters."""
+        return FragmentCacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            invalidations=self.invalidations,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FragmentCache(membership={len(self._membership)}, "
+            f"gum={len(self._gum)}, hits={self.hits}, "
+            f"misses={self.misses}, invalidations={self.invalidations})"
+        )

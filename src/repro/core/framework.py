@@ -32,6 +32,12 @@ from repro.core.bulk import (
     MembershipFragments,
     SequentialBulkMixin,
 )
+from repro.core.fragments import (
+    CellFragment,
+    FragmentCache,
+    FragmentCacheStats,
+    resolve_fragment_cache,
+)
 from repro.errors import ConfigError, UnknownPointError
 from repro.kernels import any_within, as_point_array, box_sq_dists, bucket_by_cell
 from repro.core.grid import Cell, Grid
@@ -148,6 +154,7 @@ class GridClusterer(SequentialBulkMixin):
         rho: float = 0.0,
         dim: int = 2,
         strategy: str = "auto",
+        fragment_cache: Optional[bool] = None,
     ) -> None:
         if minpts < 1:
             raise ConfigError(f"minpts must be >= 1, got {minpts}")
@@ -162,6 +169,53 @@ class GridClusterer(SequentialBulkMixin):
         self._points: Dict[int, Point] = {}
         self._cells: Dict[Cell, object] = {}
         self._next_id = 0
+        # Incremental fragment cache (None when disabled): memoizes
+        # per-cell membership fragments and GUM edge decisions across
+        # barriers; the update paths invalidate through _touch_cells.
+        self._fragments: Optional[FragmentCache] = (
+            FragmentCache() if resolve_fragment_cache(fragment_cache) else None
+        )
+
+    @property
+    def fragment_cache_enabled(self) -> bool:
+        """Whether barriers reuse cached fragments (the resolved knob)."""
+        return self._fragments is not None
+
+    def fragment_cache_stats(self) -> Optional[FragmentCacheStats]:
+        """Cumulative cache counters, or ``None`` when disabled."""
+        return None if self._fragments is None else self._fragments.stats()
+
+    def _touch_cells(self, touched: Iterable[Cell]) -> None:
+        """Invalidate cached fragments around mutated cells.
+
+        ``touched`` is the set of cells whose point sets a mutation
+        changed.  Core status can shift one closeness step out (a ball
+        count reaches into neighbor cells), so GUM decisions and core
+        coordinates die for ``ring1 = touched ∪ N(touched)``; membership
+        fragments depend on their neighbors' core sets on top, so they
+        die for ``ring2 = ring1 ∪ N(ring1)``.
+
+        Contract with the update paths: insert paths call this *after*
+        new cells are registered and neighbor-linked, delete paths
+        *before* emptied cells are unlinked — either way the grid's
+        neighbor links still cover the mutated neighborhood when the
+        rings are derived here.
+        """
+        cache = self._fragments
+        if cache is None or cache.is_empty():
+            return
+        cells = self._cells
+        ring1 = set(touched)
+        for cell in list(ring1):
+            data = cells.get(cell)
+            if data is not None:
+                ring1 |= data.neighbors  # type: ignore[attr-defined]
+        ring2 = set(ring1)
+        for cell in ring1:
+            data = cells.get(cell)
+            if data is not None:
+                ring2 |= data.neighbors  # type: ignore[attr-defined]
+        cache.invalidate(ring2, ring1)
 
     # ------------------------------------------------------------------
     # Point store
@@ -225,6 +279,11 @@ class GridClusterer(SequentialBulkMixin):
     # ------------------------------------------------------------------
 
     def _cluster_ids_of(self, pid: int) -> List[Hashable]:
+        if pid not in self._points:
+            # Route the dead id through the uniform whole-query
+            # validation so it raises UnknownPointError with the same
+            # message as every other query path (not a bare KeyError).
+            self._validated_query((pid,))
         point = self._points[pid]
         cell = self._grid.cell_of(point)
         data = self._cells[cell]
@@ -303,9 +362,12 @@ class GridClusterer(SequentialBulkMixin):
         ``pid_arr`` must hold distinct live ids.  Group membership is
         accumulated as id-array fragments per CC id and flattened once at
         the end, so fully-core cells (the common case on clustered data)
-        contribute one slice each with no per-point Python work; the
-        fragments of one CC id are pairwise disjoint (each id resolves in
-        exactly one cell bucket), so the flatten is a plain sort.
+        contribute one slice each with no per-point Python work.  The
+        flatten deduplicates: the cell-complete fragments of the cached
+        engine grant a border point once per close core cell, so two
+        cells of one component may both contribute it (the uncached
+        engine's same-component skip keeps its fragments disjoint, and
+        ``np.unique`` degenerates to the plain sort).
         """
         group_parts, group_pids, noise, _ = self._resolve_memberships(
             pid_arr, arr
@@ -317,7 +379,7 @@ class GridClusterer(SequentialBulkMixin):
             if pids_of_cid:
                 parts.append(np.asarray(pids_of_cid, dtype=np.int64))
             merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
-            groups.append(np.sort(merged).tolist())
+            groups.append(np.unique(merged).tolist())
         groups.sort()
         return CGroupByResult(groups=groups, noise=sorted(noise))
 
@@ -345,7 +407,17 @@ class GridClusterer(SequentialBulkMixin):
         fragments and scalar id lists per key, ids with no membership
         among trusted cells, and the open probes (empty when ``trust`` is
         None).
+
+        With the fragment cache enabled the resolution routes through
+        :meth:`_resolve_memberships_cached` instead — same outputs (at
+        ``rho = 0`` bit-identical; above it sandwich-legal either way),
+        but cell-complete buckets splice memoized
+        :class:`repro.core.fragments.CellFragment` entries.
         """
+        if self._fragments is not None:
+            return self._resolve_memberships_cached(
+                pid_arr, arr, key=key, trust=trust
+            )
         group_parts: Dict[Hashable, List[np.ndarray]] = {}
         group_pids: Dict[Hashable, List[int]] = {}
         noise: List[int] = []
@@ -419,6 +491,129 @@ class GridClusterer(SequentialBulkMixin):
                     group_pids.setdefault(cid, []).append(pid)
         return group_parts, group_pids, noise, probes
 
+    def _resolve_memberships_cached(
+        self,
+        pid_arr: np.ndarray,
+        arr: np.ndarray,
+        key: Optional[Callable[[Cell], Hashable]] = None,
+        trust: Optional[Callable[[Cell], bool]] = None,
+    ):
+        """The fragment-cache twin of :meth:`_resolve_memberships`.
+
+        Every bucket resolves to a granting-cell-keyed
+        :class:`CellFragment` via :meth:`_resolve_cell_fragment`;
+        *cell-complete* buckets (the query covers every live point of
+        the cell — always true for ``Q = P`` and for the shard merge's
+        owned-cell queries) are served from / stored into the cache,
+        partial buckets recompute and bypass it.  The fragments are then
+        spliced under ``key(granting cell)``, so the caller-visible
+        outputs match the uncached engine's.
+        """
+        cache = self._fragments
+        assert cache is not None
+        cache.begin(trust)
+        group_parts: Dict[Hashable, List[np.ndarray]] = {}
+        noise: List[int] = []
+        probes: List[Tuple[int, Cell]] = []
+        cc_cache: Dict[Cell, Hashable] = {}
+        key_of = self._cc_id if key is None else key
+        for cell, idxs in bucket_by_cell(arr, self._grid.side):
+            data = self._cells[cell]
+            cell_ids = pid_arr[idxs]
+            cacheable = len(cell_ids) == len(data.points)  # type: ignore[attr-defined]
+            frag = cache.lookup_membership(cell) if cacheable else None
+            if frag is None:
+                frag = self._resolve_cell_fragment(
+                    cell, data, cell_ids, arr[idxs], trust
+                )
+                if cacheable:
+                    cache.store_membership(cell, frag)
+            for gcell, member_ids in frag.members.items():
+                cid = cc_cache.get(gcell)
+                if cid is None:
+                    cid = cc_cache[gcell] = key_of(gcell)
+                group_parts.setdefault(cid, []).append(member_ids)
+            noise.extend(frag.noise)
+            probes.extend(frag.probes)
+        return group_parts, {}, noise, probes
+
+    def _resolve_cell_fragment(
+        self,
+        cell: Cell,
+        data: object,
+        cell_ids: np.ndarray,
+        cell_coords: np.ndarray,
+        trust: Optional[Callable[[Cell], bool]],
+    ) -> CellFragment:
+        """Resolve one cell bucket into a granting-cell-keyed fragment.
+
+        The per-cell core of the batched query engine, factored out so
+        the cached and uncached barriers run the same decisions.  Unlike
+        the CC-keyed fast path of :meth:`_resolve_memberships`, every
+        close trusted core cell is probed (no same-component skip):
+        a fragment must be complete per *cell* so it stays valid while
+        the global component structure drifts around it, and so the
+        shard merge can apply its own global components to it.
+        """
+        core_set = data.core  # type: ignore[attr-defined]
+        if len(core_set) == len(data.points):  # type: ignore[attr-defined]
+            # Fully-core cell: every queried id is core, granted by its
+            # own cell; nothing to probe.
+            return CellFragment(members={cell: cell_ids})
+        cell_pids = cell_ids.tolist()
+        if not core_set:
+            core_q: List[int] = []
+            noncore_q = cell_pids
+        else:
+            core_q = [pid for pid in cell_pids if pid in core_set]
+            noncore_q = [pid for pid in cell_pids if pid not in core_set]
+        granted: Dict[Cell, List[int]] = {}
+        if core_q:
+            granted[cell] = core_q
+        noise: List[int] = []
+        probes: List[Tuple[int, Cell]] = []
+        if noncore_q:
+            # A core point in the cell itself is within eps automatically.
+            membership: Dict[int, Set[Cell]] = (
+                {pid: {cell} for pid in noncore_q}
+                if core_set
+                else {pid: set() for pid in noncore_q}
+            )
+            q_arr = (
+                cell_coords
+                if len(noncore_q) == len(cell_pids)
+                else cell_coords[
+                    [k for k, pid in enumerate(cell_pids) if pid not in core_set]
+                ]
+            )
+            for other in sorted(data.neighbors):  # type: ignore[attr-defined]
+                if trust is not None and not trust(other):
+                    # Outside this resolver's authority (see
+                    # _resolve_memberships): leave the decision open.
+                    probes.extend((pid, other) for pid in noncore_q)
+                    continue
+                odata = self._cells[other]
+                if not odata.core:  # type: ignore[attr-defined]
+                    continue
+                proofs = odata.emptiness.empty_many(q_arr)  # type: ignore[attr-defined]
+                for pid, proof in zip(noncore_q, proofs):
+                    if proof is not None:
+                        membership[pid].add(other)
+            for pid in noncore_q:
+                granting = membership[pid]
+                if not granting:
+                    noise.append(pid)
+                for gcell in granting:
+                    granted.setdefault(gcell, []).append(pid)
+        return CellFragment(
+            members={
+                gcell: np.asarray(pids, dtype=np.int64)
+                for gcell, pids in granted.items()
+            },
+            noise=noise,
+            probes=probes,
+        )
+
     # ------------------------------------------------------------------
     # Shard-support surface: per-cell fragments for the boundary merge
     # ------------------------------------------------------------------
@@ -485,9 +680,18 @@ class GridClusterer(SequentialBulkMixin):
         candidates together with the trusted frontier's core coordinates;
         the shard router settles those against the owners' fragments.
         With ``trust=None`` the fragment simply covers the whole graph.
+
+        With the fragment cache enabled, per-pair edge decisions and
+        per-cell core-coordinate arrays are memoized across barriers: a
+        decision depends only on the two cells' core point sets, so it
+        stays valid until a mutation dirties either endpoint
+        (:meth:`_touch_cells` drops exactly those).
         """
         sq_relaxed = self._sq_relaxed
         cells = self._cells
+        cache = self._fragments
+        if cache is not None:
+            cache.begin(trust)
         trusted = (lambda _cell: True) if trust is None else trust
         core_cells: List[Cell] = sorted(
             cell
@@ -497,13 +701,43 @@ class GridClusterer(SequentialBulkMixin):
         core_cache: Dict[Cell, np.ndarray] = {}
 
         def core_coords(cell: Cell) -> np.ndarray:
-            arr = core_cache.get(cell)
+            arr = (
+                cache.get_core_coords(cell)
+                if cache is not None
+                else core_cache.get(cell)
+            )
             if arr is None:
                 data = cells[cell]
-                arr = core_cache[cell] = np.array(
+                arr = np.array(
                     [data.points[pid] for pid in sorted(data.core)]  # type: ignore[attr-defined]
                 )
+                if cache is not None:
+                    cache.set_core_coords(cell, arr)
+                else:
+                    core_cache[cell] = arr
             return arr
+
+        def edge_exists(cell: Cell, other: Cell, cell_lo, cell_hi) -> bool:
+            # Witness pairs must sit within the threshold of the
+            # opposite cell's box; pruning by that bound leaves the
+            # outcome unchanged but skips most near-misses.
+            mine = core_coords(cell)
+            near_mine = mine[
+                box_sq_dists(
+                    mine, *(np.array(b) for b in self._grid.cell_box(other))
+                )
+                <= sq_relaxed
+            ]
+            if not len(near_mine):
+                return False
+            theirs = core_coords(other)
+            near_theirs = theirs[
+                box_sq_dists(theirs, cell_lo, cell_hi) <= sq_relaxed
+            ]
+            return bool(
+                len(near_theirs)
+                and any_within(near_mine, near_theirs, sq_relaxed)
+            )
 
         edges: List[Tuple[Cell, Cell]] = []
         candidates: List[Tuple[Cell, Cell]] = []
@@ -522,25 +756,14 @@ class GridClusterer(SequentialBulkMixin):
                 odata = cells[other]
                 if not odata.core:  # type: ignore[attr-defined]
                     continue
-                # Witness pairs must sit within the threshold of the
-                # opposite cell's box; pruning by that bound leaves the
-                # outcome unchanged but skips most near-misses.
-                mine = core_coords(cell)
-                near_mine = mine[
-                    box_sq_dists(
-                        mine, *(np.array(b) for b in self._grid.cell_box(other))
-                    )
-                    <= sq_relaxed
-                ]
-                if not len(near_mine):
-                    continue
-                theirs = core_coords(other)
-                near_theirs = theirs[
-                    box_sq_dists(theirs, cell_lo, cell_hi) <= sq_relaxed
-                ]
-                if len(near_theirs) and any_within(
-                    near_mine, near_theirs, sq_relaxed
-                ):
+                if cache is not None:
+                    decision = cache.lookup_gum((cell, other))
+                    if decision is None:
+                        decision = edge_exists(cell, other, cell_lo, cell_hi)
+                        cache.store_gum((cell, other), decision)
+                else:
+                    decision = edge_exists(cell, other, cell_lo, cell_hi)
+                if decision:
                     edges.append((cell, other))
             if borders_untrusted:
                 frontier[cell] = core_coords(cell)
@@ -574,6 +797,8 @@ class GridClusterer(SequentialBulkMixin):
         points = self._points
         if not points:
             return Clustering()
+        if self._fragments is not None:
+            return self._clusters_cached()
         # Q = P needs no per-id validation or dict lookups: the store's
         # keys and values already are the query arrays.
         flat = np.fromiter(
@@ -589,8 +814,69 @@ class GridClusterer(SequentialBulkMixin):
             clusters=result.group_sets(), noise=set(result.noise)
         )
 
+    def _clusters_cached(self) -> Clustering:
+        """The incremental ``Q = P`` barrier (fragment cache enabled).
+
+        Iterates the cell registry directly — Q = P queries every live
+        point of every cell, so there is nothing to flatten, bucket or
+        validate, and every cell is cache-eligible.  Clean cells splice
+        their memoized fragment; only cells a mutation dirtied since the
+        last barrier recompute.  The cluster list keeps the canonical
+        group order of :meth:`cgroup_by_many` (members ascending and
+        deduplicated, groups lexicographic), so the result equals the
+        uncached path's (exactly at ``rho = 0``).
+        """
+        cache = self._fragments
+        assert cache is not None
+        cache.begin(None)
+        group_parts: Dict[Hashable, List[np.ndarray]] = {}
+        noise: List[int] = []
+        cc_cache: Dict[Cell, Hashable] = {}
+        cc_of = self._cc_id
+        for cell, data in self._cells.items():
+            frag = cache.lookup_membership(cell)
+            if frag is None:
+                pts = data.points  # type: ignore[attr-defined]
+                cell_ids = np.fromiter(
+                    pts.keys(), dtype=np.int64, count=len(pts)
+                )
+                coords = np.array(list(pts.values()), dtype=float)
+                frag = self._resolve_cell_fragment(
+                    cell, data, cell_ids, coords, None
+                )
+                cache.store_membership(cell, frag)
+            for gcell, member_ids in frag.members.items():
+                cid = cc_cache.get(gcell)
+                if cid is None:
+                    cid = cc_cache[gcell] = cc_of(gcell)
+                group_parts.setdefault(cid, []).append(member_ids)
+            noise.extend(frag.noise)
+        groups = []
+        for parts in group_parts.values():
+            merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            merged = np.sort(merged)
+            if len(parts) > 1:
+                # Fragments of one component may both grant a border
+                # point; a sort + adjacent-difference mask dedups far
+                # cheaper than np.unique's hash path at snapshot sizes.
+                keep = np.empty(len(merged), dtype=bool)
+                keep[0] = True
+                np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+                merged = merged[keep]
+            groups.append(merged.tolist())
+        groups.sort()
+        return Clustering(
+            clusters=[set(g) for g in groups], noise=set(noise)
+        )
+
     def same_cluster(self, pid_a: int, pid_b: int) -> bool:
-        """Whether two live points share at least one cluster."""
+        """Whether two live points share at least one cluster.
+
+        Dead ids fail the whole query up front with
+        :class:`repro.errors.UnknownPointError` (listing every dead id),
+        exactly like the batched query paths.
+        """
+        self._validated_query((pid_a, pid_b))
         a = set(self._cluster_ids_of(pid_a))
         if not a:
             return False

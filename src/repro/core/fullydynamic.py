@@ -75,8 +75,11 @@ class FullyDynamicClusterer(GridClusterer):
         strategy: str = "auto",
         connectivity: str = "hdt",
         bcp: str = "abcp",
+        fragment_cache: Optional[bool] = None,
     ) -> None:
-        super().__init__(eps, minpts, rho, dim, strategy)
+        super().__init__(
+            eps, minpts, rho, dim, strategy, fragment_cache=fragment_cache
+        )
         if connectivity == "hdt":
             self._conn: Connectivity = HDTConnectivity()
         elif connectivity == "naive":
@@ -152,6 +155,9 @@ class FullyDynamicClusterer(GridClusterer):
                         continue
                     if self._approx_count(odata.points[q], odata) >= self.minpts:
                         self._promote(q, other, odata)
+        # After linking: promotions reach one closeness step out at most,
+        # so touching the insertion cell covers every changed cell.
+        self._touch_cells((cell,))
         return pid
 
     def insert_many(self, points: Iterable[Sequence[float]]) -> List[int]:
@@ -210,6 +216,7 @@ class FullyDynamicClusterer(GridClusterer):
             ]
             if chosen:
                 self._promote_many(chosen, cell, data)
+        self._touch_cells([cell for cell, _ in buckets])
         return list(range(base, base + len(tuples)))
 
     def delete_many(self, pids: Iterable[int]) -> None:
@@ -233,6 +240,11 @@ class FullyDynamicClusterer(GridClusterer):
                 f"point id(s) {sorted(set(dead))} are not live; "
                 f"the batch was rejected before deleting anything"
             )
+        # Invalidate before any removal: emptied cells are unlinked below,
+        # and the rings need the neighbor links still intact.
+        self._touch_cells(
+            {self._grid.cell_of(self._points[pid]) for pid in pid_list}
+        )
         affected: Set[Cell] = set()
         for pid in pid_list:
             cell = self._grid.cell_of(self._points[pid])
@@ -276,6 +288,8 @@ class FullyDynamicClusterer(GridClusterer):
             raise UnknownPointError(f"point id {pid} is not live")
         pt = self._points[pid]
         cell = self._grid.cell_of(pt)
+        # Invalidate before any removal (the cell may be unlinked below).
+        self._touch_cells((cell,))
         data: _FullCell = self._cells[cell]  # type: ignore[assignment]
         was_core = pid in data.core
         del data.points[pid]

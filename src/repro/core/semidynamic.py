@@ -59,8 +59,11 @@ class SemiDynamicClusterer(GridClusterer):
         rho: float = 0.0,
         dim: int = 2,
         strategy: str = "auto",
+        fragment_cache: Optional[bool] = None,
     ) -> None:
-        super().__init__(eps, minpts, rho, dim, strategy)
+        super().__init__(
+            eps, minpts, rho, dim, strategy, fragment_cache=fragment_cache
+        )
         self._uf = UnionFind()
         self._vincnt: Dict[int, int] = {}
 
@@ -94,6 +97,9 @@ class SemiDynamicClusterer(GridClusterer):
 
         # The new point raises the vicinity count of close non-core points.
         self._bump_vicinity(pid, pt, cell, data)
+        # After linking: promotions reach one closeness step out at most,
+        # so touching the insertion cell covers every changed cell.
+        self._touch_cells((cell,))
         return pid
 
     def insert_many(self, points: Iterable[Sequence[float]]) -> List[int]:
@@ -234,6 +240,7 @@ class SemiDynamicClusterer(GridClusterer):
                 ]
                 if len(near_other) and any_within(near_new, near_other, sq_eps):
                     self._uf.union(cell, other)
+        self._touch_cells(new_in_cell)
         return list(range(base, base + len(tuples)))
 
     def delete(self, pid: int) -> None:

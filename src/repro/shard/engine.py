@@ -23,6 +23,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro import kernels
 from repro.api.config import SHARD_EXECUTOR_CHOICES, EngineConfig
 from repro.api.engine import EngineStats, QueryOutcome, Snapshot
+from repro.core.fragments import FragmentCacheStats
 from repro.errors import ConfigError, UnknownPointError, UnsupportedOperationError
 from repro.shard.executors import ProcessShardExecutor, SerialShardExecutor
 from repro.shard.router import ShardRouter
@@ -40,7 +41,8 @@ class ShardedStats:
     ``restarts`` counts supervised worker recoveries (kill + respawn +
     journal replay) performed over the deployment's lifetime — 0 for
     the serial executor and for a process deployment that never lost a
-    worker.
+    worker.  ``fragment_cache`` sums the per-shard incremental
+    fragment-cache counters (``None`` when the cache is disabled).
     """
 
     points: int
@@ -52,6 +54,7 @@ class ShardedStats:
     replicas: int
     per_shard: Tuple[EngineStats, ...]
     restarts: int = 0
+    fragment_cache: Optional[FragmentCacheStats] = None
 
 
 class ShardedEngine:
@@ -209,6 +212,11 @@ class ShardedEngine:
 
     def stats(self) -> ShardedStats:
         per_shard = tuple(self._router.shard_stats())
+        fragment_parts = [
+            s.fragment_cache
+            for s in per_shard
+            if s.fragment_cache is not None
+        ]
         return ShardedStats(
             points=len(self._router),
             epoch=self.epoch,
@@ -219,6 +227,17 @@ class ShardedEngine:
             replicas=sum(s.points for s in per_shard),
             per_shard=per_shard,
             restarts=self.restarts,
+            fragment_cache=(
+                FragmentCacheStats(
+                    hits=sum(f.hits for f in fragment_parts),
+                    misses=sum(f.misses for f in fragment_parts),
+                    invalidations=sum(
+                        f.invalidations for f in fragment_parts
+                    ),
+                )
+                if fragment_parts
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------

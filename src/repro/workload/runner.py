@@ -106,7 +106,11 @@ class RunResult:
     generated them.  ``restarts`` counts supervised shard-worker
     recoveries during the run (always 0 for unsharded and serial
     deployments) — a run that survived worker deaths says so in its
-    record.
+    record.  ``fragment_hits`` / ``fragment_misses`` /
+    ``fragment_invalidations`` record the incremental fragment cache's
+    counters over the run (all 0 when the cache is disabled or the
+    engine has none), so a benchmark row shows how incremental its
+    barriers actually were.
     """
 
     op_kinds: List[str] = field(default_factory=list)
@@ -116,6 +120,9 @@ class RunResult:
     shards: int = 1
     transport: str = ""
     restarts: int = 0
+    fragment_hits: int = 0
+    fragment_misses: int = 0
+    fragment_invalidations: int = 0
 
     def _sizes(self) -> List[int]:
         # Hand-built results may omit sizes; treat every entry as 1 op.
@@ -328,4 +335,9 @@ def run_workload_engine(
     if engine.config.shards:
         result.transport = engine.config.resolved_shard_transport
         result.restarts = getattr(engine, "restarts", 0)
+    fragment_stats = getattr(engine.stats(), "fragment_cache", None)
+    if fragment_stats is not None:
+        result.fragment_hits = fragment_stats.hits
+        result.fragment_misses = fragment_stats.misses
+        result.fragment_invalidations = fragment_stats.invalidations
     return result

@@ -24,6 +24,7 @@ EXPECTED_API_ALL = [
     "Engine",
     "EngineConfig",
     "EngineStats",
+    "FragmentCacheStats",
     "IngestSession",
     "InvalidQueryError",
     "QueryOutcome",

@@ -129,6 +129,25 @@ class TestUnknownPoint:
             with pytest.raises(UnknownPointError, match="not live"):
                 algo.delete(41)
 
+    def test_same_cluster_rejects_dead_ids(self):
+        """same_cluster fails like every other query path, not KeyError."""
+        for cls in ALL_CLUSTERERS:
+            algo = cls(1.0, 2, dim=2)
+            pid = algo.insert((0.0, 0.0))
+            with pytest.raises(UnknownPointError, match="not live"):
+                algo.same_cluster(pid, 999)
+            with pytest.raises(UnknownPointError, match="not live"):
+                algo.same_cluster(999, pid)
+            # Both dead ids are listed in one up-front failure.
+            with pytest.raises(UnknownPointError, match="998.*999|999.*998"):
+                algo.same_cluster(998, 999)
+
+    def test_cluster_ids_of_routes_through_validation(self):
+        algo = FullyDynamicClusterer(1.0, 2, dim=2)
+        algo.insert((0.0, 0.0))
+        with pytest.raises(UnknownPointError, match="not live"):
+            algo._cluster_ids_of(555)
+
     def test_bulk_delete_rejects_whole_batch_up_front(self):
         algo = FullyDynamicClusterer(1.0, 2, dim=2)
         pids = algo.insert_many([(0.0, 0.0), (0.1, 0.1)])

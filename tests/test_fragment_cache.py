@@ -1,0 +1,382 @@
+"""Incremental fragment cache: differential correctness + counters.
+
+The cache (:mod:`repro.core.fragments`) must be *invisible in results*:
+with the knob on, every barrier splices memoized per-cell fragments and
+reuses per-pair GUM decisions, yet at ``rho = 0`` the outputs are
+bit-identical to a cache-off engine driven through the same updates —
+across dims {2, 3, 5}, both clusterer families, shard counts {1, 4},
+localized update batches between barriers (the regime where most cells
+stay clean), bulk deletions, a shard-trust switch, and supervised
+crash/replay recovery (a respawned worker rebuilds its cache from the
+journal; recovery must not resurrect stale fragments).  At ``rho > 0``
+cached reuse replays an answer computed from the same structure state a
+recompute would read, so the differential holds there too.
+
+Counters (hits / misses / invalidations) surface through
+``EngineStats.fragment_cache`` and ``RunResult``; the knob resolves
+explicit > ``REPRO_FRAGMENT_CACHE`` > on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api as api
+from repro.core.fragments import (
+    FRAGMENT_CACHE_ENV,
+    FragmentCache,
+    FragmentCacheStats,
+    resolve_fragment_cache,
+)
+from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.core.semidynamic import SemiDynamicClusterer
+from repro.errors import ConfigError
+from repro.workload.config import eps_for
+
+from conftest import clustered_points
+
+DIMS = (2, 3, 5)
+MINPTS = 5
+
+
+def _eps(dim: int) -> float:
+    """An eps matched to the ``clustered_points`` scale (extent ~30)."""
+    return 1.25 * dim
+
+
+# ----------------------------------------------------------------------
+# Knob resolution
+# ----------------------------------------------------------------------
+
+
+class TestKnobResolution:
+    def test_default_is_on(self, monkeypatch):
+        monkeypatch.delenv(FRAGMENT_CACHE_ENV, raising=False)
+        assert resolve_fragment_cache(None) is True
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("ON", True), ("yes", True),
+        ("0", False), ("false", False), ("OFF", False), ("no", False),
+    ])
+    def test_env_fallback(self, monkeypatch, value, expected):
+        monkeypatch.setenv(FRAGMENT_CACHE_ENV, value)
+        assert resolve_fragment_cache(None) is expected
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(FRAGMENT_CACHE_ENV, "0")
+        assert resolve_fragment_cache(True) is True
+        monkeypatch.setenv(FRAGMENT_CACHE_ENV, "1")
+        assert resolve_fragment_cache(False) is False
+
+    def test_garbage_env_raises(self, monkeypatch):
+        monkeypatch.setenv(FRAGMENT_CACHE_ENV, "maybe")
+        with pytest.raises(ConfigError, match="REPRO_FRAGMENT_CACHE"):
+            resolve_fragment_cache(None)
+
+    def test_config_knob_validation(self, monkeypatch):
+        with pytest.raises(ConfigError, match="fragment_cache"):
+            api.EngineConfig(eps=1.0, minpts=3, fragment_cache="on")
+        cfg = api.EngineConfig(eps=1.0, minpts=3, fragment_cache=False)
+        assert cfg.resolved_fragment_cache is False
+        monkeypatch.delenv(FRAGMENT_CACHE_ENV, raising=False)
+        assert api.EngineConfig(
+            eps=1.0, minpts=3
+        ).resolved_fragment_cache is True
+
+    def test_env_reaches_clusterer(self, monkeypatch):
+        monkeypatch.setenv(FRAGMENT_CACHE_ENV, "0")
+        assert not FullyDynamicClusterer(1.0, 3).fragment_cache_enabled
+        monkeypatch.setenv(FRAGMENT_CACHE_ENV, "1")
+        assert SemiDynamicClusterer(1.0, 3).fragment_cache_enabled
+
+
+# ----------------------------------------------------------------------
+# Differential: cache-on == cache-off
+# ----------------------------------------------------------------------
+
+
+def _open(algorithm, dim, rho, cache, shards=None):
+    return api.open(
+        algorithm=algorithm,
+        eps=_eps(dim),
+        minpts=MINPTS,
+        rho=rho,
+        dim=dim,
+        fragment_cache=cache,
+        shards=shards,
+        shard_block=1 if shards else None,
+    )
+
+
+def _canon_snapshot(snapshot):
+    c = snapshot.clustering
+    return [sorted(map(sorted, c.clusters)), sorted(c.noise)]
+
+
+def _drive(engine, dim, rho, with_deletes):
+    """Barrier-heavy localized workload; returns every barrier output.
+
+    Ingests a clustered base, then alternates small *localized* batches
+    (consecutive points of one blob land in few cells) with full
+    snapshots and whole-live-set C-group-by barriers — the cache's
+    target regime, where a warm barrier should splice mostly clean
+    cells.  The outputs are what the differential compares.
+    """
+    outputs = []
+    base = clustered_points(180, dim, seed=dim * 11)
+    extra = clustered_points(60, dim, seed=dim * 11 + 1)
+    pids = engine.ingest(base)
+    live = list(pids)
+    outputs.append(_canon_snapshot(engine.snapshot()))
+    for step in range(3):
+        batch = extra[step * 20:(step + 1) * 20]
+        live.extend(engine.ingest(batch))
+        if with_deletes and step:
+            victims = live[step::40][:6]
+            engine.delete_many(victims)
+            live = [pid for pid in live if pid not in set(victims)]
+        outputs.append(_canon_snapshot(engine.snapshot()))
+        outputs.append(engine.cgroup_by_many(live).result)
+        # Repeat barrier with zero mutations in between: fully warm.
+        outputs.append(_canon_snapshot(engine.snapshot()))
+    return outputs
+
+
+@pytest.mark.parametrize("rho", (0.0, 0.01))
+@pytest.mark.parametrize("dim", DIMS)
+@pytest.mark.parametrize("algorithm,with_deletes", [
+    ("semi", False),
+    ("full", True),
+])
+def test_cache_is_invisible_single_engine(algorithm, with_deletes, dim, rho):
+    on = _open(algorithm, dim, rho, cache=True)
+    off = _open(algorithm, dim, rho, cache=False)
+    assert on.stats().fragment_cache is not None
+    assert off.stats().fragment_cache is None
+    got = _drive(on, dim, rho, with_deletes)
+    want = _drive(off, dim, rho, with_deletes)
+    assert got == want
+    stats = on.stats().fragment_cache
+    assert stats.hits > 0  # warm barriers actually spliced fragments
+    if with_deletes:
+        assert stats.invalidations > 0
+
+
+@pytest.mark.parametrize("shards", (1, 4))
+@pytest.mark.parametrize("dim", DIMS)
+def test_cache_is_invisible_sharded(dim, shards):
+    """Sharded cache-on vs single cache-off at rho=0, tiny blocks.
+
+    Covers the router's boundary merge consuming cached per-shard
+    membership/GUM fragments under the trust predicate, against the
+    plain uncached engine as the oracle.
+    """
+    sharded = _open("full", dim, 0.0, cache=True, shards=shards)
+    single = _open("full", dim, 0.0, cache=False)
+    try:
+        got = _drive(sharded, dim, 0.0, with_deletes=True)
+        want = _drive(single, dim, 0.0, with_deletes=True)
+        assert got == want
+        stats = sharded.stats().fragment_cache
+        assert stats is not None and stats.hits > 0
+    finally:
+        sharded.close()
+
+
+def test_sequential_updates_invalidate_correctly():
+    """Point-at-a-time insert/delete paths also dirty their cells."""
+    on = _open("full", 2, 0.0, cache=True)
+    off = _open("full", 2, 0.0, cache=False)
+    pts = clustered_points(120, 2, seed=5)
+    for engine in (on, off):
+        engine.ingest(pts[:100])
+    assert _canon_snapshot(on.snapshot()) == _canon_snapshot(off.snapshot())
+    for p in pts[100:]:
+        for engine in (on, off):
+            engine.insert(p)
+        assert _canon_snapshot(on.snapshot()) == _canon_snapshot(
+            off.snapshot()
+        )
+    for pid in (0, 17, 55):
+        for engine in (on, off):
+            engine.delete(pid)
+        assert _canon_snapshot(on.snapshot()) == _canon_snapshot(
+            off.snapshot()
+        )
+
+
+# ----------------------------------------------------------------------
+# Counters and stats plumbing
+# ----------------------------------------------------------------------
+
+
+class TestCounters:
+    def test_warm_snapshot_is_all_hits(self):
+        engine = _open("full", 2, 0.0, cache=True)
+        engine.ingest(clustered_points(150, 2, seed=3))
+        engine.snapshot()
+        cold = engine.stats().fragment_cache
+        assert cold.misses > 0 and cold.hits == 0
+        engine.snapshot()
+        warm = engine.stats().fragment_cache
+        assert warm.misses == cold.misses  # nothing recomputed
+        assert warm.hits == cold.misses  # every cell spliced
+
+    def test_mutations_count_invalidations(self):
+        engine = _open("full", 2, 0.0, cache=True)
+        pids = engine.ingest(clustered_points(150, 2, seed=3))
+        engine.snapshot()
+        assert engine.stats().fragment_cache.invalidations == 0
+        engine.delete_many(pids[:3])
+        assert engine.stats().fragment_cache.invalidations > 0
+
+    def test_partial_queries_bypass_the_cache(self):
+        engine = _open("full", 2, 0.0, cache=True)
+        pids = engine.ingest(clustered_points(200, 2, seed=4))
+        engine.cgroup_by_many(pids[: len(pids) // 3])
+        stats = engine.stats().fragment_cache
+        # A sparse sample rarely covers whole cells; partial buckets
+        # must neither populate nor count against the cache.
+        assert stats.hits == 0
+
+    def test_sharded_stats_aggregate(self):
+        engine = _open("full", 2, 0.0, cache=True, shards=4)
+        try:
+            engine.ingest(clustered_points(150, 2, seed=6))
+            engine.snapshot()
+            engine.snapshot()
+            total = engine.stats().fragment_cache
+            parts = [
+                s.fragment_cache
+                for s in engine.stats().per_shard
+                if s.fragment_cache is not None
+            ]
+            assert total.hits == sum(p.hits for p in parts) > 0
+            assert total.misses == sum(p.misses for p in parts)
+        finally:
+            engine.close()
+
+    def test_run_result_carries_counters(self):
+        from repro.workload.runner import run_workload_engine
+        from repro.workload.workload import generate_workload
+
+        workload = generate_workload(
+            150, 2, insert_fraction=1.0, query_frequency=30, seed=9
+        )
+        engine = api.open(
+            algorithm="semi", eps=eps_for(2), minpts=MINPTS,
+            batch_size=25, fragment_cache=True,
+        )
+        result = run_workload_engine(engine, workload)
+        stats = engine.stats().fragment_cache
+        assert result.fragment_hits == stats.hits
+        assert result.fragment_misses == stats.misses
+        assert result.fragment_invalidations == stats.invalidations
+
+    def test_stats_are_picklable(self):
+        import pickle
+
+        stats = FragmentCacheStats(hits=3, misses=2, invalidations=1)
+        assert pickle.loads(pickle.dumps(stats)) == stats
+
+
+# ----------------------------------------------------------------------
+# Trust safety
+# ----------------------------------------------------------------------
+
+
+def test_trust_switch_flushes_everything():
+    """A fragment computed under one trust set must not serve another."""
+    clusterer = FullyDynamicClusterer(
+        _eps(2), MINPTS, dim=2, fragment_cache=True
+    )
+    pids = clusterer.insert_many(clustered_points(120, 2, seed=8))
+    full = clusterer.membership_fragments(pids, trust=None)
+    cached = clusterer._fragments.stats()
+    assert cached.misses > 0
+
+    cells = sorted(
+        {clusterer.cell_of(pid) for pid in pids}
+    )
+    half = set(cells[: len(cells) // 2])
+    trust = half.__contains__
+    # Per the contract (and the shard router's usage), queried ids live
+    # in trusted cells — the predicate restricts decisions, not inputs.
+    pids_in_half = [p for p in pids if clusterer.cell_of(p) in half]
+    restricted = clusterer.membership_fragments(pids_in_half, trust=trust)
+    flushed = clusterer._fragments.stats()
+    # The predicate switch dropped every entry; nothing was served from
+    # the unrestricted run's fragments.
+    assert flushed.invalidations > cached.invalidations
+    assert set(restricted.fragments) <= half
+    # Untrusted memberships came back as probes, not silent grants.
+    assert all(cell not in half for _, cell in restricted.probes)
+    # Flipping back is a fresh flush again, and the unrestricted result
+    # is reproduced exactly.
+    again = clusterer.membership_fragments(pids, trust=None)
+    assert again.fragments == full.fragments
+    assert again.unmatched == full.unmatched
+
+
+def test_trust_identity_not_equality():
+    """Binding is by predicate object identity (stable per deployment)."""
+    cache = FragmentCache()
+    a = lambda cell: True  # noqa: E731
+    cache.begin(a)
+    cache.store_gum(((0, 0), (0, 1)), True)
+    cache.begin(a)  # same object: nothing dropped
+    assert cache.lookup_gum(((0, 0), (0, 1))) is True
+    cache.begin(lambda cell: True)  # equal behavior, different object
+    assert cache.lookup_gum(((0, 0), (0, 1))) is None
+
+
+# ----------------------------------------------------------------------
+# Crash / replay recovery
+# ----------------------------------------------------------------------
+
+
+def test_crash_replay_rebuilds_cache_consistently():
+    """Supervised recovery must not resurrect stale fragments.
+
+    Both workers crash mid-run *after* warm barriers populated their
+    caches; the respawned workers rebuild state (cache empty) by exact
+    journal replay.  The recovered deployment's warm snapshot must stay
+    bit-identical to a cache-off single engine at rho=0, and the run
+    must actually have recovered (restarts >= 1).
+    """
+    pts = clustered_points(140, 2, seed=12)
+    single = _open("full", 2, 0.0, cache=False)
+    sharded = api.open(
+        algorithm="full",
+        eps=_eps(2),
+        minpts=MINPTS,
+        dim=2,
+        fragment_cache=True,
+        shards=2,
+        shard_executor="process",
+        shard_fault_plan="crash:ingest:2",
+    )
+    try:
+        s_ids = single.ingest(pts[:80])
+        g_ids = sharded.ingest(pts[:80])
+        # Warm the worker-side caches before the crash.
+        assert _canon_snapshot(sharded.snapshot()) == _canon_snapshot(
+            single.snapshot()
+        )
+        single.delete_many(s_ids[:10])
+        sharded.delete_many(g_ids[:10])
+        # Second ingest per worker: the plan crashes every shard here,
+        # so recovery replays ingest + delete_many before retrying.
+        single.ingest(pts[80:])
+        sharded.ingest(pts[80:])
+        assert sharded.restarts >= 1
+        assert _canon_snapshot(sharded.snapshot()) == _canon_snapshot(
+            single.snapshot()
+        )
+        # And the rebuilt cache serves warm barriers correctly too.
+        assert _canon_snapshot(sharded.snapshot()) == _canon_snapshot(
+            single.snapshot()
+        )
+    finally:
+        single.close()
+        sharded.close()

@@ -1,0 +1,165 @@
+"""End-to-end latency of the streaming service under concurrent load.
+
+Not a paper figure: this benchmark measures what :mod:`repro.service`
+adds on top of the bare engine — JSON-lines framing, per-session
+queues, the active-writer flush dance — under ``CLIENTS`` concurrent
+sessions multiplexed onto one engine over real localhost sockets.
+
+Each synthetic client drives its connection from the fitted
+:func:`repro.workload.traffic.default_service_mix` sampler (the
+fit-and-sample model, so the traffic shape is learned from a trace,
+not hard-coded), ingesting seed-spreader points and deleting/querying
+only ids it owns.  Per-op round-trip latencies are recorded
+client-side; the run reports p50/p99 per op kind plus aggregate ops/s
+to ``benchmarks/results/service_latency.txt``.
+
+The asserted floors are deliberately generous first pins — tripwires
+against collapse (service errors, sub-interactive throughput), not
+performance targets; tighten them once a history exists.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import repro.api as api
+from repro.service import ClusterService, ServiceClient, ServiceLimits
+from repro.workload.config import MINPTS, RHO, bench_n, eps_for
+from repro.workload.seed_spreader import seed_spreader
+from repro.workload.traffic import default_service_mix
+
+from figlib import write_results
+
+DIM = 2
+EPS = eps_for(DIM)
+CLIENTS = 4
+#: Ops per client, scaled with REPRO_BENCH_N (default 2000 -> 100).
+OPS_PER_CLIENT = max(40, bench_n(2000) // 20)
+
+#: Generous first-pin floors (tripwires, not targets).
+MIN_OPS_PER_SEC = 20.0
+MAX_P99_US = 5_000_000.0  # 5 s
+
+_collected = {}
+
+
+async def _client_run(host, port, ops, points, latencies):
+    """One synthetic session: execute its sampled op mix, timing each."""
+    client = await ServiceClient.connect(host, port)
+    live = []
+    cursor = 0
+    try:
+        for op in ops:
+            kind, size = op.kind, op.size
+            if kind == "delete" and not live:
+                kind = "ingest"  # nothing to delete yet: warm up instead
+            if kind == "cgroup_by" and not live:
+                kind = "snapshot"
+            start = time.perf_counter()
+            if kind == "ingest":
+                batch = [
+                    list(points[(cursor + i) % len(points)])
+                    for i in range(size)
+                ]
+                cursor += size
+                acked = await client.ingest(batch)
+                live.extend(acked["pids"])
+            elif kind == "delete":
+                victims = live[: min(size, len(live))]
+                del live[: len(victims)]
+                await client.delete(victims)
+            elif kind == "cgroup_by":
+                await client.cgroup_by(live[-min(size, len(live)):])
+            else:
+                await client.snapshot()
+            latencies[kind].append((time.perf_counter() - start) * 1e6)
+    finally:
+        await client.aclose()
+
+
+async def _drive_fleet(engine):
+    service = ClusterService(
+        engine,
+        limits=ServiceLimits(max_sessions=CLIENTS + 2, queue_depth=64),
+    )
+    await service.start("127.0.0.1", 0)
+    host, port = service.address
+    sampler = default_service_mix()
+    pool = seed_spreader(max(2000, OPS_PER_CLIENT * 32), DIM, seed=42)
+    latencies = {k: [] for k in ("ingest", "delete", "cgroup_by", "snapshot")}
+    try:
+        start = time.perf_counter()
+        await asyncio.gather(*[
+            _client_run(
+                host,
+                port,
+                sampler.sample(OPS_PER_CLIENT, seed=1000 + i),
+                pool[i::CLIENTS],
+                latencies,
+            )
+            for i in range(CLIENTS)
+        ])
+        elapsed = time.perf_counter() - start
+    finally:
+        await service.aclose()
+    return latencies, elapsed, service.stats
+
+
+def _percentile(values, pct):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    k = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
+    return ordered[k]
+
+
+def test_concurrent_client_latency():
+    engine = api.open(
+        algorithm="full", eps=EPS, minpts=MINPTS, rho=RHO, dim=DIM
+    )
+    try:
+        latencies, elapsed, stats = asyncio.run(_drive_fleet(engine))
+    finally:
+        engine.close()
+    total_ops = sum(len(v) for v in latencies.values())
+    assert total_ops == CLIENTS * OPS_PER_CLIENT
+    assert stats.ops_failed == 0, "service returned errors under load"
+    assert stats.failed_drains == 0
+    ops_per_sec = total_ops / elapsed if elapsed > 0 else float("inf")
+    every = [v for vs in latencies.values() for v in vs]
+    _collected["aggregate"] = (
+        total_ops, ops_per_sec, _percentile(every, 50), _percentile(every, 99)
+    )
+    for kind, values in latencies.items():
+        if values:
+            _collected[kind] = (
+                len(values),
+                len(values) / elapsed,
+                _percentile(values, 50),
+                _percentile(values, 99),
+            )
+    assert ops_per_sec >= MIN_OPS_PER_SEC, (
+        f"service throughput collapsed: {ops_per_sec:.1f} ops/s under "
+        f"{CLIENTS} clients"
+    )
+    p99 = _percentile(every, 99)
+    assert p99 <= MAX_P99_US, (
+        f"service p99 latency collapsed: {p99 / 1e3:.1f} ms"
+    )
+
+
+def test_zz_write_results():
+    """Runs last (name-ordered): dump the collected series."""
+    lines = ["series\tops\tops_per_sec\tp50_us\tp99_us"]
+    for name, (ops, rate, p50, p99) in _collected.items():
+        lines.append(f"{name}\t{ops}\t{rate:.1f}\t{p50:.0f}\t{p99:.0f}")
+    write_results(
+        "service_latency.txt",
+        f"Streaming service latency: {CLIENTS} concurrent clients x "
+        f"{OPS_PER_CLIENT} ops (default_service_mix traffic), d={DIM}, "
+        f"eps={EPS}, MinPts={MINPTS}, rho={RHO}, full-exact engine, "
+        f"localhost JSON-lines",
+        [lines],
+    )
+    assert _collected, "no measurements collected"

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""The streaming cluster-analytics service, end to end in one process.
+
+Starts a :class:`repro.service.ClusterService` on an ephemeral
+localhost port — the same server ``python -m repro serve`` runs — and
+drives it with two concurrent :class:`repro.service.ServiceClient`
+sessions plus one windowed run:
+
+* **session multiplexing** — both clients ingest through their own
+  buffered sessions onto one engine; a query from either acts as a
+  barrier and observes every acked update, stamped with the epoch;
+* **backpressure** — a deliberately tiny per-session queue sheds a
+  burst with 429-style rejections instead of buffering without bound;
+* **sliding-window mode** — a second, windowed deployment expires the
+  oldest points on every append (time-decay clustering).
+
+Run: python examples/streaming_service.py
+"""
+
+import asyncio
+import os
+
+import repro.api
+from repro.service import (
+    ClusterService,
+    ServiceClient,
+    ServiceError,
+    ServiceLimits,
+)
+from repro.service import protocol
+from repro.workload.seed_spreader import burst_arrival_stream
+
+
+def open_engine():
+    return repro.api.open(
+        algorithm="full", eps=200.0, minpts=10, rho=0.001, dim=2
+    )
+
+
+async def mixed_service_demo(n):
+    """Two concurrent sessions, query barriers, a shed burst, a drain."""
+    engine = open_engine()
+    service = ClusterService(
+        engine, limits=ServiceLimits(queue_depth=8, max_sessions=8)
+    )
+    await service.start("127.0.0.1", 0)
+    host, port = service.address
+    print(f"service listening on {host}:{port}")
+
+    batches = burst_arrival_stream(n, 2, seed=7)
+    alice = await ServiceClient.connect(host, port)
+    bob = await ServiceClient.connect(host, port)
+
+    # Interleaved ingest: the service hands the active-writer token
+    # back and forth, flushing the previous writer on every handover.
+    owned = {"alice": [], "bob": []}
+    for i, batch in enumerate(batches):
+        who, client = (
+            ("alice", alice) if i % 2 == 0 else ("bob", bob)
+        )
+        acked = await client.ingest([list(p) for p in batch])
+        owned[who].extend(acked["pids"])
+    print(
+        f"ingested {len(owned['alice'])} points as alice, "
+        f"{len(owned['bob'])} as bob across {len(batches)} bursty ticks"
+    )
+
+    # A query from bob is a barrier: it sees alice's acked points too.
+    outcome = await bob.cgroup_by(owned["alice"][:8] + owned["bob"][:8])
+    print(
+        f"cross-session C-group-by at epoch {outcome['epoch']}: "
+        f"{len(outcome['groups'])} groups, {len(outcome['noise'])} noise"
+    )
+    snapshot = await alice.snapshot()
+    assert snapshot["size"] == len(owned["alice"]) + len(owned["bob"])
+    print(
+        f"snapshot at epoch {snapshot['epoch']}: "
+        f"{len(snapshot['clusters'])} clusters over {snapshot['size']} points"
+    )
+
+    # Backpressure: fire a pipelined burst far deeper than the queue.
+    futures = [alice.submit("ping", payload=i) for i in range(64)]
+    results = await asyncio.gather(*futures, return_exceptions=True)
+    shed = sum(
+        1
+        for r in results
+        if isinstance(r, ServiceError) and r.code == protocol.BACKPRESSURE
+    )
+    print(
+        f"pipelined burst of {len(futures)} pings: "
+        f"{len(futures) - shed} served, {shed} shed with 429 backpressure"
+    )
+
+    # Graceful drain: every acked op reaches the engine before close.
+    await service.aclose()
+    stats = service.stats
+    print(
+        f"drained {stats.drained_sessions} sessions "
+        f"({stats.failed_drains} failed), engine holds {len(engine)} points"
+    )
+    await alice.aclose()
+    await bob.aclose()
+    engine.close()
+
+
+async def windowed_service_demo(n):
+    """Sliding-window mode: append-only traffic with oldest-out expiry."""
+    engine = open_engine()
+    capacity = max(1, n // 4)
+    service = ClusterService(engine, window_capacity=capacity)
+    await service.start("127.0.0.1", 0)
+    client = await ServiceClient.connect(*service.address)
+
+    expired_total = 0
+    for batch in burst_arrival_stream(n, 2, seed=11):
+        appended = await client.window_append([list(p) for p in batch])
+        expired_total += len(appended["expired"])
+    stats = await client.stats()
+    print(
+        f"windowed run (capacity {capacity}): window holds "
+        f"{stats['window_size']} points, {expired_total} expired, "
+        f"epoch {stats['epoch']}"
+    )
+
+    await client.aclose()
+    await service.aclose()
+    engine.close()
+
+
+def main():
+    n = min(int(os.environ.get("REPRO_BENCH_N", "2000")), 2000)
+    asyncio.run(mixed_service_demo(n))
+    asyncio.run(windowed_service_demo(n))
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,8 +2,12 @@
 
 Commands:
 
-* ``bench``    — run one Section 8.1 workload through chosen algorithms
-  and print the paper's metrics (average / max-update / query cost).
+* ``bench``    — run one workload scenario through chosen algorithms
+  and print the paper's metrics (average / max-update / query cost);
+  ``--scenario sliding-window`` swaps the Section 8.1 mixed workload
+  for the streaming sliding-window scenario family.
+* ``serve``    — start the streaming cluster-analytics service
+  (:mod:`repro.service`) over one engine (single or sharded).
 * ``generate`` — write a seed-spreader dataset as CSV to stdout or a file.
 * ``usec``     — run the Theorem 2 hardness reduction on random instances.
 """
@@ -11,6 +15,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import statistics
 import sys
@@ -27,6 +32,12 @@ from repro.api.config import (
 from repro.errors import ConfigError
 from repro.workload.config import MINPTS, RHO, backend_name, eps_for
 from repro.workload.runner import run_workload_engine
+from repro.workload.scenarios import (
+    ARRIVAL_REGIMES,
+    SCENARIO_CHOICES,
+    run_sliding_window,
+    sliding_window_scenario,
+)
 from repro.workload.seed_spreader import seed_spreader
 from repro.workload.workload import generate_workload
 
@@ -124,13 +135,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
         None if args.fragment_cache is None else args.fragment_cache == "on"
     )
     insert_fraction = 1.0 if args.semi else args.insert_fraction
-    workload = generate_workload(
-        args.n,
-        args.dim,
-        insert_fraction=insert_fraction,
-        query_frequency=max(1, int(args.n * args.query_freq)),
-        seed=args.seed,
-    )
+    sliding = args.scenario == "sliding-window"
+    if sliding and args.semi:
+        print(
+            "--semi (insert-only) conflicts with --scenario "
+            "sliding-window: window expiry needs deletions",
+            file=sys.stderr,
+        )
+        return 2
+    workload = scenario = None
+    if sliding:
+        try:
+            scenario = sliding_window_scenario(
+                args.n,
+                args.dim,
+                capacity=args.window_capacity,
+                arrival=args.arrival,
+                seed=args.seed,
+            )
+        except ConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        workload = generate_workload(
+            args.n,
+            args.dim,
+            insert_fraction=insert_fraction,
+            query_frequency=max(1, int(args.n * args.query_freq)),
+            seed=args.seed,
+        )
     as_text = args.format == "text"
     record = {
         "workload": {
@@ -139,8 +172,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "eps": eps,
             "minpts": args.minpts,
             "rho": args.rho,
-            "insert_fraction": insert_fraction,
-            "query_count": workload.query_count,
+            "scenario": args.scenario,
+            "insert_fraction": None if sliding else insert_fraction,
+            "query_count": None if sliding else workload.query_count,
             "batch_size": args.batch_size,
             "seed": args.seed,
         },
@@ -149,6 +183,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "transport": shard_transport,
         "algorithms": [],
     }
+    if sliding:
+        record["workload"]["arrival"] = scenario.arrival
+        record["workload"]["window_capacity"] = scenario.capacity
+        record["workload"]["batches"] = len(scenario.batches)
     if as_text:
         batch_note = (
             f", batched (insert_many/delete_many, batch={args.batch_size})"
@@ -161,23 +199,34 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if args.shards
             else ""
         )
-        print(
-            f"workload: N={args.n} (%ins={insert_fraction:.3f}), d={args.dim}, "
-            f"eps={eps:g}, MinPts={args.minpts}, rho={args.rho}, "
-            f"{workload.query_count} queries{batch_note}{shard_note}, "
-            f"backend={kernels.backend_summary()}"
-        )
+        if sliding:
+            print(
+                f"scenario: sliding-window ({scenario.arrival} arrivals), "
+                f"N={args.n}, capacity={scenario.capacity}, "
+                f"{len(scenario.batches)} ticks, d={args.dim}, eps={eps:g}, "
+                f"MinPts={args.minpts}, rho={args.rho}{shard_note}, "
+                f"backend={kernels.backend_summary()}"
+            )
+        else:
+            print(
+                f"workload: N={args.n} (%ins={insert_fraction:.3f}), d={args.dim}, "
+                f"eps={eps:g}, MinPts={args.minpts}, rho={args.rho}, "
+                f"{workload.query_count} queries{batch_note}{shard_note}, "
+                f"backend={kernels.backend_summary()}"
+            )
     for name in args.algorithms:
-        if name.startswith("semi") and insert_fraction < 1.0:
+        if name.startswith("semi") and (sliding or insert_fraction < 1.0):
+            reason = (
+                "insert-only algorithm cannot expire a sliding window"
+                if sliding
+                else "semi-dynamic algorithm, workload has deletions"
+            )
             if as_text:
-                print(
-                    f"  {name:14s} skipped "
-                    f"(semi-dynamic, workload has deletions)"
-                )
+                print(f"  {name:14s} skipped ({reason})")
             record["algorithms"].append({
                 "name": name,
                 "skipped": True,
-                "reason": "semi-dynamic algorithm, workload has deletions",
+                "reason": reason,
             })
             continue
         engine = _engine_for(
@@ -194,7 +243,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             args.shard_call_timeout,
             fragment_cache,
         )
-        result = run_workload_engine(engine, workload)
+        result = (
+            run_sliding_window(engine, scenario)
+            if sliding
+            else run_workload_engine(engine, workload)
+        )
         queries = result.query_costs()
         # Amortized per-operation numbers, so batched and sequential rows
         # are comparable (a batch entry covers many updates); identical to
@@ -216,6 +269,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "update_count": len(per_update),
             "query_count": len(queries),
             "epoch": engine.epoch,
+            "scenario": result.scenario or "mixed",
             "backend": result.backend,
             "shards": result.shards,
             "transport": result.transport,
@@ -242,6 +296,96 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if not as_text:
         print(json.dumps(record, indent=2))
     return 0
+
+
+async def _serve_until_shutdown(service, host: str, port: int) -> int:
+    """Bind, announce, block until shutdown is requested, then drain."""
+    import signal
+
+    await service.start(host, port)
+    bound_host, bound_port = service.address
+    mode = (
+        f"sliding-window (capacity {service.window.capacity})"
+        if service.windowed
+        else "mixed ingest/delete/query"
+    )
+    limits = service.limits
+    print(
+        f"serving on {bound_host}:{bound_port} — "
+        f"{service.engine.config.resolved_algorithm} engine, {mode}; "
+        f"max {limits.max_sessions} sessions, queue depth "
+        f"{limits.queue_depth}, {limits.max_inflight} in-flight ops; "
+        f"ctrl-c drains and exits",
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, service.request_shutdown)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-Unix event loops: ctrl-c raises KeyboardInterrupt
+    try:
+        await service.wait_shutdown()
+    finally:
+        print("draining sessions ...", flush=True)
+        await service.aclose()
+        stats = service.stats
+        print(
+            f"drained {stats.drained_sessions} session(s) "
+            f"({stats.failed_drains} failed); "
+            f"{stats.ops_accepted} ops accepted, "
+            f"{stats.ops_rejected} rejected, {stats.ops_failed} failed",
+            flush=True,
+        )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.service import ClusterService, ServiceLimits
+
+    kernels.use_backend(args.backend)
+    eps = args.eps if args.eps is not None else eps_for(args.dim, args.eps_per_d)
+    engine = None
+    try:
+        engine = _engine_for(
+            args.algorithm,
+            eps,
+            args.minpts,
+            args.rho,
+            args.dim,
+            args.backend,
+            None,
+            args.shards,
+            args.shard_executor,
+            args.shard_transport,
+            args.shard_call_timeout,
+            None,
+        )
+        limits = ServiceLimits(
+            max_sessions=args.max_sessions,
+            queue_depth=args.queue_depth,
+            max_inflight=args.max_inflight,
+            max_write_buffer=args.max_write_buffer,
+            drain_timeout=args.drain_timeout,
+        )
+        service = ClusterService(
+            engine,
+            limits=limits,
+            window_capacity=args.window_capacity,
+            allow_shutdown=args.allow_shutdown_op,
+        )
+    except ReproError as exc:
+        if engine is not None:
+            engine.close()
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        return asyncio.run(_serve_until_shutdown(service, args.host, args.port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+    finally:
+        engine.close()
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -309,6 +453,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=42)
     bench.add_argument(
         "--semi", action="store_true", help="insert-only workload"
+    )
+    bench.add_argument(
+        "--scenario",
+        choices=SCENARIO_CHOICES,
+        default="mixed",
+        help="workload family: the paper's Section 8.1 mixed "
+        "insert/delete/query sequence (mixed), or the streaming "
+        "sliding-window scenario — per-tick arrival batches through a "
+        "WindowedEngine that expires the oldest points via bulk "
+        "delete_many, with periodic C-group-by barriers over the live "
+        "window",
+    )
+    bench.add_argument(
+        "--window-capacity",
+        type=int,
+        default=None,
+        help="sliding-window scenario: keep this many most-recent "
+        "points (default: n // 4, so the window turns over ~4x per run)",
+    )
+    bench.add_argument(
+        "--arrival",
+        choices=ARRIVAL_REGIMES,
+        default="burst",
+        help="sliding-window arrival regime: bursty tick sizes from a "
+        "quiet/hot geometric mixture (burst) or fixed ticks whose "
+        "cluster density evolves over the stream (evolving)",
     )
     bench.add_argument(
         "--batch-size",
@@ -384,6 +554,117 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"algorithms to run (choices: {', '.join(ALGORITHM_CHOICES)})",
     )
     bench.set_defaults(func=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the streaming cluster-analytics service "
+        "(JSON-lines over TCP; see repro.service)",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7171,
+        help="TCP port to bind (0 binds an ephemeral port, announced "
+        "on stdout)",
+    )
+    serve.add_argument(
+        "--algorithm",
+        choices=ALGORITHM_CHOICES + ("semi", "full"),
+        default="full",
+        help="the engine the service multiplexes sessions onto "
+        "(family aliases resolved by --rho)",
+    )
+    serve.add_argument("--dim", type=int, default=2)
+    serve.add_argument("--eps", type=float, default=None, help="absolute eps")
+    serve.add_argument(
+        "--eps-per-d", type=int, default=100, help="eps = eps_per_d * dim"
+    )
+    serve.add_argument("--minpts", type=int, default=MINPTS)
+    serve.add_argument("--rho", type=float, default=RHO)
+    serve.add_argument(
+        "--backend",
+        choices=kernels.available_backends(),
+        default=backend_name(),
+        help="compute-kernel backend (default: REPRO_BACKEND or 'auto')",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve a sharded deployment: one engine per shard behind "
+        "the router (grid-based algorithms only)",
+    )
+    serve.add_argument(
+        "--shard-executor",
+        choices=("serial", "process"),
+        default="serial",
+        help="where shard engines live; only meaningful with --shards",
+    )
+    serve.add_argument(
+        "--shard-transport",
+        choices=SHARD_TRANSPORT_CHOICES,
+        default=None,
+        help="process-executor payload plane; only meaningful with "
+        "--shards --shard-executor process",
+    )
+    serve.add_argument(
+        "--shard-call-timeout",
+        type=float,
+        default=None,
+        help="deadline in seconds on shard-worker replies; only "
+        "meaningful with --shards --shard-executor process",
+    )
+    serve.add_argument(
+        "--window-capacity",
+        type=int,
+        default=None,
+        help="serve in sliding-window mode: keep this many most-recent "
+        "points, expiring the oldest through bulk delete_many; raw "
+        "ingest/delete ops are rejected (405) in favor of window_append",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="concurrent client connections admitted; excess "
+        "connections are rejected with a 429 (default: 64)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        help="operations one session may have queued before new ops "
+        "get a 429 (default: 32)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="operations queued service-wide across all sessions "
+        "before new ops get a 429 (default: 256)",
+    )
+    serve.add_argument(
+        "--max-write-buffer",
+        type=int,
+        default=1 << 20,
+        help="bytes of un-read response data one connection may "
+        "accumulate before the service aborts it (default: 1 MiB)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds graceful shutdown waits for one session's queue "
+        "to empty before failing the session (default: 30)",
+    )
+    serve.add_argument(
+        "--allow-shutdown-op",
+        action="store_true",
+        help="let clients stop the service with a 'shutdown' op "
+        "(useful for scripted smoke tests; off by default)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     gen = sub.add_parser("generate", help="emit a seed-spreader dataset (CSV)")
     gen.add_argument("--n", type=int, default=10000)

@@ -352,6 +352,7 @@ class Engine:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

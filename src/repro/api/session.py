@@ -71,6 +71,7 @@ class IngestSession:
         self._runs: List[Tuple[str, list, Optional[int]]] = []
         self._pending = 0
         self._flushes = 0
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -85,6 +86,18 @@ class IngestSession:
     def flush_count(self) -> int:
         """Flushes performed so far (auto, barrier and explicit)."""
         return self._flushes
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has retired this session."""
+        return self._closed
+
+    def _check_open(self, op: str) -> None:
+        if self._closed:
+            raise ReproError(
+                f"cannot {op} through a closed ingest session; open a new "
+                f"session with engine.session()"
+            )
 
     def _watermark(self) -> Optional[int]:
         """The next id the engine's clusterer will assign (applied state)."""
@@ -107,6 +120,7 @@ class IngestSession:
         without an id watermark the batch is applied immediately
         instead, which returns the true ids at the cost of buffering.)
         """
+        self._check_open("ingest")
         batch = [tuple(float(x) for x in p) for p in points]
         if not batch:
             return []
@@ -135,6 +149,7 @@ class IngestSession:
         it); deletions on an insert-only algorithm fail immediately
         rather than poisoning the buffer.
         """
+        self._check_open("delete")
         pid_list = [int(pid) for pid in pids]
         if not pid_list:
             return
@@ -208,21 +223,25 @@ class IngestSession:
 
     def cgroup_by(self, pids: Iterable[int]):
         """Barrier + C-group-by: flushes, then queries the engine."""
+        self._check_open("query (cgroup_by)")
         self.flush()
         return self._engine.cgroup_by(pids)
 
     def cgroup_by_many(self, pids: Iterable[int]):
         """Barrier + batched C-group-by."""
+        self._check_open("query (cgroup_by_many)")
         self.flush()
         return self._engine.cgroup_by_many(pids)
 
     def snapshot(self):
         """Barrier + epoch-stamped full clustering."""
+        self._check_open("snapshot")
         self.flush()
         return self._engine.snapshot()
 
     def stats(self):
         """Barrier + epoch-stamped service counters."""
+        self._check_open("stats")
         self.flush()
         return self._engine.stats()
 
@@ -230,14 +249,36 @@ class IngestSession:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    def close(self) -> None:
+        """Flush buffered updates and retire the session; idempotent.
+
+        The first ``close`` flushes (so close-with-buffered-ops loses
+        nothing); if that flush fails — the engine died, a worker
+        crashed — the remaining buffer is discarded and the *primary*
+        error propagates once.  Every later ``close`` is a silent
+        no-op: a crash-path double-close never raises a secondary
+        error on top of the one that mattered.  Updates and queries
+        through a closed session raise a clear
+        :class:`repro.errors.ReproError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.flush()
+        except BaseException:
+            self.discard()
+            raise
+
     def __enter__(self) -> "IngestSession":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
-            self.flush()
+            self.close()
         else:
             self.discard()
+            self._closed = True
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,29 @@
+"""The streaming cluster-analytics service (ROADMAP: serving layer).
+
+A thin asyncio layer that turns one engine — single or sharded — into
+a network service for many concurrent clients:
+
+* :mod:`repro.service.protocol` — the JSON-lines wire protocol
+  (epoch-stamped responses, HTTP-style error codes);
+* :mod:`repro.service.server` — :class:`ClusterService`: buffered
+  per-session ingest with active-writer coordination, query barriers,
+  admission control, bounded queues with 429 backpressure, graceful
+  drain-on-shutdown, optional sliding-window mode;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the matching
+  asyncio client with explicit pipelining.
+
+Start one from the CLI with ``python -m repro serve``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import ProtocolError
+from repro.service.server import ClusterService, ServiceLimits, ServiceStats
+
+__all__ = [
+    "ClusterService",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceLimits",
+    "ServiceStats",
+]

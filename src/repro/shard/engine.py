@@ -64,6 +64,7 @@ class ShardedEngine:
         self.config = config
         self._router = router
         self._backend = backend
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -254,8 +255,22 @@ class ShardedEngine:
 
         return IngestSession(self, flush_threshold=flush_threshold)
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released this engine."""
+        return self._closed
+
     def close(self) -> None:
-        """Shut down the executor (worker processes, if any)."""
+        """Shut down the executor (worker processes, if any); idempotent.
+
+        Safe to call any number of times, and safe after a worker has
+        already died — the executors tolerate tearing down partially
+        dead pools, so a crash-path ``close`` never raises a secondary
+        error on top of the one that killed the worker.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._router.executor.close()
 
     def __enter__(self) -> "ShardedEngine":

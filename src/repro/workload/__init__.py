@@ -11,9 +11,24 @@
   workload cost, exactly as defined in Section 8.2.
 * :mod:`repro.workload.config` — the Table 2 parameter grid, scaled for
   pure Python (override sizes with ``REPRO_BENCH_N``).
+* :mod:`repro.workload.scenarios` — streaming scenario families beyond
+  the paper (sliding-window over burst-arrival / evolving-density
+  regimes).
+* :mod:`repro.workload.traffic` — fit-and-sample traffic-mix synthesis
+  for the service load harness.
 """
 
-from repro.workload.seed_spreader import seed_spreader
+from repro.workload.seed_spreader import (
+    burst_arrival_stream,
+    evolving_density_stream,
+    seed_spreader,
+)
+from repro.workload.scenarios import (
+    SlidingWindowScenario,
+    run_sliding_window,
+    sliding_window_scenario,
+)
+from repro.workload.traffic import TrafficMixSampler, TrafficOp, default_service_mix
 from repro.workload.workload import (
     Operation,
     Workload,
@@ -32,14 +47,22 @@ from repro.workload.metrics import avgcost_series, maxupdcost_series
 __all__ = [
     "Operation",
     "RunResult",
+    "SlidingWindowScenario",
+    "TrafficMixSampler",
+    "TrafficOp",
     "UnsupportedOperationError",
     "Workload",
     "avgcost_series",
     "batch_ops",
+    "burst_arrival_stream",
+    "default_service_mix",
+    "evolving_density_stream",
     "generate_workload",
     "maxupdcost_series",
+    "run_sliding_window",
     "run_workload",
     "run_workload_batched",
     "run_workload_engine",
     "seed_spreader",
+    "sliding_window_scenario",
 ]

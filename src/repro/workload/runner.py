@@ -110,7 +110,11 @@ class RunResult:
     ``fragment_invalidations`` record the incremental fragment cache's
     counters over the run (all 0 when the cache is disabled or the
     engine has none), so a benchmark row shows how incremental its
-    barriers actually were.
+    barriers actually were.  ``scenario`` names the workload family the
+    run executed (``""`` for the classic Section 8.1 mixed workload,
+    ``"sliding-window"`` for :mod:`repro.workload.scenarios` runs), so
+    result files distinguish the families without guessing from op
+    kinds.
     """
 
     op_kinds: List[str] = field(default_factory=list)
@@ -123,6 +127,7 @@ class RunResult:
     fragment_hits: int = 0
     fragment_misses: int = 0
     fragment_invalidations: int = 0
+    scenario: str = ""
 
     def _sizes(self) -> List[int]:
         # Hand-built results may omit sizes; treat every entry as 1 op.

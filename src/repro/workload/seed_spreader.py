@@ -9,13 +9,29 @@ restarts per dataset, hence "around 10 clusters".  Finally ``0.01%`` of the
 points are replaced by uniform noise.
 
 Paper constants: extent 1e5, radius 25, 100 points per station, step 50.
+
+Beyond the paper's static generator, two *arrival-regime* variants feed
+the streaming scenarios (the sliding-window bench and the
+:mod:`repro.service` load harness).  Both return the stream already
+chopped into per-tick batches, are fully determined by their seed, and
+use the same spreader walk:
+
+* :func:`burst_arrival_stream` — arrivals come in bursts whose sizes
+  are drawn from a two-mode (quiet / hot) geometric mixture, the
+  classic heavy-tailed live-traffic shape: long runs of small ticks
+  punctuated by large spikes.
+* :func:`evolving_density_stream` — the emission radius interpolates
+  geometrically from ``start_radius`` to ``end_radius`` over the
+  stream, so cluster density *evolves*: what starts as diffuse haze
+  sharpens into dense clusters (or dissolves, if the radii are
+  reversed) as the window slides.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 Point = Tuple[float, ...]
 
@@ -88,3 +104,158 @@ def seed_spreader(
     for _ in range(noise_count):
         points.append(_random_location(rng, dim, extent))
     return points
+
+
+def _spreader_walk(
+    rng: random.Random,
+    count: int,
+    dim: int,
+    extent: float,
+    radius_of: Callable[[int], float],
+    step: float,
+    points_per_station: int,
+    noise_fraction: float,
+) -> List[Point]:
+    """The seed-spreader walk with a per-point emission radius.
+
+    Identical structure to :func:`seed_spreader` (station shifts,
+    restarts, trailing uniform noise) except the ball radius of point
+    ``i`` is ``radius_of(i)`` — the hook the evolving-density regime
+    uses.  Noise is interleaved uniformly (one toss per point) instead
+    of appended at the end, because a *stream* has no end to append to.
+    """
+    noise_prob = min(1.0, max(0.0, noise_fraction))
+    restart_prob = min(1.0, RESTART_NUMERATOR / max(1, count))
+    points: List[Point] = []
+    location = _random_location(rng, dim, extent)
+    emitted_here = 0
+    for i in range(count):
+        if noise_prob and rng.random() < noise_prob:
+            points.append(_random_location(rng, dim, extent))
+            continue
+        points.append(
+            _clamp(_uniform_in_ball(rng, location, radius_of(i), dim), extent)
+        )
+        emitted_here += 1
+        if emitted_here >= points_per_station:
+            direction = [rng.gauss(0.0, 1.0) for _ in range(dim)]
+            norm = math.sqrt(sum(x * x for x in direction)) or 1.0
+            location = _clamp(
+                tuple(c + step * x / norm for c, x in zip(location, direction)),
+                extent,
+            )
+            emitted_here = 0
+        if rng.random() < restart_prob:
+            location = _random_location(rng, dim, extent)
+            emitted_here = 0
+    return points
+
+
+def _chop(points: List[Point], sizes: List[int]) -> List[List[Point]]:
+    """Chop a point stream into consecutive batches of the given sizes."""
+    batches: List[List[Point]] = []
+    cursor = 0
+    for size in sizes:
+        if cursor >= len(points):
+            break
+        batches.append(points[cursor : cursor + size])
+        cursor += size
+    if cursor < len(points):
+        batches.append(points[cursor:])
+    return batches
+
+
+def burst_arrival_stream(
+    n: int,
+    dim: int,
+    seed: Optional[int] = None,
+    quiet_mean: int = 8,
+    hot_mean: int = 96,
+    hot_probability: float = 0.15,
+    extent: float = EXTENT,
+    radius: float = RADIUS,
+    step: float = STEP,
+    points_per_station: int = POINTS_PER_STATION,
+    noise_fraction: float = NOISE_FRACTION,
+) -> List[List[Point]]:
+    """``n`` spreader points chopped into bursty per-tick batches.
+
+    Each tick is *quiet* (geometric burst size with mean ``quiet_mean``)
+    or, with probability ``hot_probability``, *hot* (mean ``hot_mean``)
+    — long runs of trickle ticks punctuated by spikes an order of
+    magnitude larger, which is exactly the arrival shape that stresses
+    a service's admission control and a window's bulk-expiry path.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    if quiet_mean < 1 or hot_mean < 1:
+        raise ValueError(
+            f"burst means must be >= 1, got quiet={quiet_mean} hot={hot_mean}"
+        )
+    if not 0.0 <= hot_probability <= 1.0:
+        raise ValueError(
+            f"hot_probability must be in [0, 1], got {hot_probability}"
+        )
+    rng = random.Random(seed)
+    sizes: List[int] = []
+    remaining = n
+    while remaining > 0:
+        mean = hot_mean if rng.random() < hot_probability else quiet_mean
+        # Geometric burst size with the chosen mean (>= 1).
+        size = 1 + int(rng.expovariate(1.0 / max(1, mean - 1))) if mean > 1 else 1
+        size = min(size, remaining)
+        sizes.append(size)
+        remaining -= size
+    points = _spreader_walk(
+        rng, n, dim, extent, lambda i: radius, step,
+        points_per_station, noise_fraction,
+    )
+    return _chop(points, sizes)
+
+
+def evolving_density_stream(
+    n: int,
+    dim: int,
+    seed: Optional[int] = None,
+    tick_size: int = 50,
+    start_radius: float = RADIUS * 6.0,
+    end_radius: float = RADIUS,
+    extent: float = EXTENT,
+    step: float = STEP,
+    points_per_station: int = POINTS_PER_STATION,
+    noise_fraction: float = NOISE_FRACTION,
+) -> List[List[Point]]:
+    """``n`` spreader points whose cluster density evolves over time.
+
+    The emission radius interpolates geometrically from
+    ``start_radius`` (point 0) to ``end_radius`` (point n-1): with the
+    defaults, early arrivals are a diffuse haze and late arrivals form
+    clusters six times denser, so a sliding window watches loose groups
+    condense — the regime the paper's static generator cannot express.
+    Batches are fixed-size ticks of ``tick_size`` points.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    if tick_size < 1:
+        raise ValueError(f"tick_size must be >= 1, got {tick_size}")
+    if start_radius <= 0 or end_radius <= 0:
+        raise ValueError(
+            f"radii must be positive, got start={start_radius} "
+            f"end={end_radius}"
+        )
+    rng = random.Random(seed)
+    ratio = end_radius / start_radius
+    span = max(1, n - 1)
+
+    def radius_of(i: int) -> float:
+        return start_radius * (ratio ** (i / span))
+
+    points = _spreader_walk(
+        rng, n, dim, extent, radius_of, step,
+        points_per_station, noise_fraction,
+    )
+    return _chop(points, [tick_size] * (n // tick_size))

@@ -1,0 +1,137 @@
+"""Fit-and-sample traffic-mix synthesis for the streaming service.
+
+The related-work direction (GAN-based query-load generation, Sun et
+al., arXiv:2303.14777) is to *learn* a workload's shape and sample new
+traffic from it instead of hand-writing op sequences.  This module is
+the simplest sound instance of that idea: :class:`TrafficMixSampler`
+fits an empirical model of an observed service op stream — the
+categorical distribution over op kinds joint with each kind's observed
+batch-size histogram — and samples fresh, seeded, deterministic op
+mixes from it.  The service load harness
+(``benchmarks/test_service_latency.py``) drives its synthetic clients
+from exactly this sampler, so the benchmark's traffic shape is fitted,
+not hard-coded.
+
+An *op* here is the service-level unit ``(kind, size)``: ``kind`` is a
+protocol op name (``ingest`` / ``delete`` / ``cgroup_by`` / ...) and
+``size`` the batch size it carried (points ingested, pids deleted or
+queried; 1 for sizeless ops like ``ping``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: The canonical observed mix the default sampler is fitted on: a
+#: mixed-serving session shape — ingest-dominated with periodic
+#: deletions and C-group-by barriers, plus occasional snapshots —
+#: mirroring the Table 2 default update/query ratios (%ins = 5/6,
+#: f_qry = 0.05) at service batch sizes.
+DEFAULT_SERVICE_TRACE: Tuple[Tuple[str, int], ...] = (
+    (("ingest", 32),) * 10
+    + (("ingest", 8),) * 5
+    + (("ingest", 128),) * 2
+    + (("delete", 8),) * 3
+    + (("delete", 16),) * 1
+    + (("cgroup_by", 16),) * 3
+    + (("cgroup_by", 64),) * 1
+    + (("snapshot", 1),) * 1
+)
+
+
+@dataclass(frozen=True)
+class TrafficOp:
+    """One sampled service operation: an op kind and its batch size."""
+
+    kind: str
+    size: int
+
+
+class TrafficMixSampler:
+    """Empirical fit-and-sample model of a service op mix.
+
+    ``fit`` counts the observed ``(kind, size)`` pairs; ``sample`` draws
+    kinds from the fitted categorical distribution and sizes from the
+    drawn kind's observed size histogram — both from one seeded
+    :class:`random.Random`, so a ``(trace, count, seed)`` triple always
+    produces the same synthetic mix.
+    """
+
+    def __init__(self, size_histograms: Dict[str, List[int]]) -> None:
+        if not size_histograms:
+            raise ConfigError(
+                "cannot build a traffic sampler from an empty trace"
+            )
+        for kind, sizes in size_histograms.items():
+            if not sizes:
+                raise ConfigError(
+                    f"traffic kind {kind!r} has an empty size histogram"
+                )
+            bad = [s for s in sizes if not isinstance(s, int) or s < 1]
+            if bad:
+                raise ConfigError(
+                    f"traffic kind {kind!r} has non-positive sizes: {bad!r}"
+                )
+        self._histograms = {k: list(v) for k, v in size_histograms.items()}
+        self._kinds = sorted(self._histograms)
+        self._weights = [len(self._histograms[k]) for k in self._kinds]
+
+    @classmethod
+    def fit(cls, trace: Iterable[Tuple[str, int]]) -> "TrafficMixSampler":
+        """Fit the empirical model on an observed op trace."""
+        histograms: Dict[str, List[int]] = {}
+        for kind, size in trace:
+            histograms.setdefault(str(kind), []).append(int(size))
+        return cls(histograms)
+
+    @property
+    def kinds(self) -> List[str]:
+        """The op kinds the fitted trace contained (sorted)."""
+        return list(self._kinds)
+
+    def weight(self, kind: str) -> float:
+        """The fitted relative frequency of one op kind."""
+        if kind not in self._histograms:
+            return 0.0
+        return len(self._histograms[kind]) / sum(self._weights)
+
+    def sample(
+        self, count: int, seed: Optional[int] = None
+    ) -> List[TrafficOp]:
+        """Draw ``count`` ops from the fitted mix, deterministically."""
+        if count < 0:
+            raise ConfigError(f"sample count must be >= 0, got {count}")
+        rng = random.Random(seed)
+        ops: List[TrafficOp] = []
+        for _ in range(count):
+            kind = rng.choices(self._kinds, weights=self._weights, k=1)[0]
+            size = rng.choice(self._histograms[kind])
+            ops.append(TrafficOp(kind=kind, size=size))
+        return ops
+
+    def describe(self) -> Dict[str, Dict[str, float]]:
+        """Fitted summary per kind: weight, mean / max batch size."""
+        total = sum(self._weights)
+        return {
+            kind: {
+                "weight": len(sizes) / total,
+                "mean_size": sum(sizes) / len(sizes),
+                "max_size": float(max(sizes)),
+            }
+            for kind, sizes in self._histograms.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TrafficMixSampler(kinds={self._kinds}, "
+            f"ops={sum(self._weights)})"
+        )
+
+
+def default_service_mix() -> TrafficMixSampler:
+    """The sampler fitted on :data:`DEFAULT_SERVICE_TRACE`."""
+    return TrafficMixSampler.fit(DEFAULT_SERVICE_TRACE)

@@ -203,10 +203,15 @@ class TestEngineFacade:
         assert "insert_many" in batched.op_kinds
         assert "insert_many" not in sequential.op_kinds
 
-    def test_context_manager(self):
+    def test_context_manager_closes_on_exit(self):
         with _full_engine() as engine:
             engine.insert((0.0, 0.0))
-        assert len(engine) == 1
+            assert len(engine) == 1
+        # Exiting the block releases the engine (matching ShardedEngine),
+        # and close stays idempotent afterwards.
+        assert engine.closed
+        engine.close()
+        assert engine.closed
 
     def test_top_level_reexports(self):
         assert repro.Engine is Engine
@@ -356,3 +361,135 @@ class TestIngestSession:
         assert expected.groups == engine.cgroup_by_many(
             sorted(engine.raw.ids())
         ).groups
+
+
+class TestLifecycleIdempotence:
+    """The close()/__exit__ audit: Engine, ShardedEngine, IngestSession.
+
+    One shared contract: the first close does the work, every later
+    close is a silent no-op (a crash-path double-close must never raise
+    a secondary error on top of the one that mattered), and using a
+    retired session raises a clear ReproError.
+    """
+
+    # -- Engine ---------------------------------------------------------
+
+    def test_engine_double_close(self):
+        engine = _full_engine()
+        engine.insert((0.0, 0.0))
+        engine.close()
+        assert engine.closed
+        engine.close()
+        engine.close()
+        assert engine.closed
+
+    def test_engine_exit_then_close(self):
+        with _full_engine() as engine:
+            pass
+        assert engine.closed
+        engine.close()  # close after __exit__ stays a no-op
+
+    def test_engine_close_inside_with_block(self):
+        # __exit__ after an explicit close must not raise.
+        with _full_engine() as engine:
+            engine.close()
+        assert engine.closed
+
+    # -- ShardedEngine --------------------------------------------------
+
+    def test_sharded_engine_double_close(self):
+        engine = api.open(
+            algorithm="full", eps=1.0, minpts=3, dim=2,
+            shards=2, shard_executor="serial",
+        )
+        engine.ingest([(0.0, 0.0), (5.0, 5.0)])
+        engine.close()
+        assert engine.closed
+        engine.close()
+        assert engine.closed
+
+    def test_sharded_engine_context_manager(self):
+        with api.open(
+            algorithm="full", eps=1.0, minpts=3, dim=2,
+            shards=2, shard_executor="serial",
+        ) as engine:
+            engine.ingest([(0.0, 0.0)])
+            engine.close()  # explicit close inside the block is fine
+        assert engine.closed
+
+    # -- IngestSession --------------------------------------------------
+
+    def test_session_close_flushes_buffered_ops(self):
+        engine = _full_engine(flush_threshold=None)
+        session = engine.session()
+        pids = session.ingest_many([(0.0, 0.0), (0.1, 0.1)])
+        assert session.pending_updates == 2
+        session.close()
+        assert session.closed
+        assert session.pending_updates == 0
+        assert all(pid in engine for pid in pids)
+
+    def test_session_double_close_is_silent(self):
+        engine = _full_engine(flush_threshold=None)
+        session = engine.session()
+        session.ingest((0.0, 0.0))
+        session.close()
+        session.close()
+        session.close()
+        assert session.closed and len(engine) == 1
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda s: s.ingest((0.0, 0.0)),
+            lambda s: s.ingest_many([(0.0, 0.0)]),
+            lambda s: s.delete(0),
+            lambda s: s.delete_many([0]),
+            lambda s: s.cgroup_by([0]),
+            lambda s: s.cgroup_by_many([0]),
+            lambda s: s.snapshot(),
+            lambda s: s.stats(),
+        ],
+        ids=[
+            "ingest", "ingest_many", "delete", "delete_many",
+            "cgroup_by", "cgroup_by_many", "snapshot", "stats",
+        ],
+    )
+    def test_closed_session_rejects_ops(self, op):
+        engine = _full_engine(flush_threshold=None)
+        engine.insert((0.0, 0.0))
+        session = engine.session()
+        session.close()
+        with pytest.raises(ReproError, match="closed ingest session"):
+            op(session)
+
+    def test_session_close_with_failing_flush_raises_once(self):
+        """A failing final flush propagates the primary error exactly
+        once: the buffer is discarded, later closes are silent."""
+        engine = _full_engine(flush_threshold=None)
+        session = engine.session()
+        session.delete(999)  # dead pid: the close-flush will fail
+        with pytest.raises(UnknownPointError):
+            session.close()
+        assert session.closed
+        assert session.pending_updates == 0  # discarded, not stuck
+        session.close()  # no secondary error
+
+    def test_session_exit_after_close_is_silent(self):
+        engine = _full_engine(flush_threshold=None)
+        with engine.session() as session:
+            session.ingest((0.0, 0.0))
+            session.close()
+        assert session.closed and len(engine) == 1
+
+    def test_session_close_after_engine_close_discards(self):
+        """Closing a session whose engine died discards the buffer and
+        surfaces the engine failure — exactly once."""
+        engine = _full_engine(flush_threshold=None)
+        session = engine.session()
+        session.ingest((0.0, 0.0))
+        engine.close()
+        with pytest.raises(Exception):
+            session.close()
+        assert session.closed and session.pending_updates == 0
+        session.close()  # and never again

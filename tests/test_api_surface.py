@@ -12,6 +12,8 @@ from __future__ import annotations
 import repro
 import repro.api
 import repro.errors
+import repro.service
+import repro.workload
 
 EXPECTED_API_ALL = [
     "ALGORITHM_CHOICES",
@@ -89,6 +91,15 @@ EXPECTED_ERRORS_ALL = [
     "ShardTimeoutError",
 ]
 
+EXPECTED_SERVICE_ALL = [
+    "ClusterService",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceLimits",
+    "ServiceStats",
+]
+
 
 def test_api_surface_snapshot():
     assert repro.api.__all__ == EXPECTED_API_ALL
@@ -102,8 +113,28 @@ def test_errors_surface_snapshot():
     assert repro.errors.__all__ == EXPECTED_ERRORS_ALL
 
 
+def test_service_surface_snapshot():
+    assert repro.service.__all__ == EXPECTED_SERVICE_ALL
+
+
+def test_workload_scenario_names_exported():
+    """The streaming-scenario additions ride the workload package."""
+    for name in (
+        "SlidingWindowScenario",
+        "sliding_window_scenario",
+        "run_sliding_window",
+        "burst_arrival_stream",
+        "evolving_density_stream",
+        "TrafficMixSampler",
+        "TrafficOp",
+        "default_service_mix",
+    ):
+        assert name in repro.workload.__all__, name
+
+
 def test_every_exported_name_resolves():
-    for module in (repro, repro.api, repro.errors):
+    for module in (repro, repro.api, repro.errors, repro.service,
+                   repro.workload):
         for name in module.__all__:
             assert getattr(module, name, None) is not None, (
                 f"{module.__name__}.{name} is exported but does not resolve"

@@ -171,3 +171,145 @@ class TestJsonBench:
         assert record["workload"]["batch_size"] == 32
         (entry,) = record["algorithms"]
         assert entry["config"]["batch_size"] == 32
+
+
+class TestScenarioBench:
+    """`bench --scenario sliding-window` swaps in the streaming family."""
+
+    def test_scenario_flags_parsed(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.scenario == "mixed"
+        assert args.window_capacity is None
+        assert args.arrival == "burst"
+        args = build_parser().parse_args(
+            ["bench", "--scenario", "sliding-window", "--window-capacity",
+             "64", "--arrival", "evolving"]
+        )
+        assert args.scenario == "sliding-window"
+        assert args.window_capacity == 64
+        assert args.arrival == "evolving"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--scenario", "tsunami"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--arrival", "tsunami"])
+
+    def test_sliding_window_text_run(self, capsys):
+        code = main(
+            ["bench", "--n", "200", "--seed", "5", "--scenario",
+             "sliding-window", "double-approx"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario: sliding-window (burst arrivals)" in out
+        assert "capacity=50" in out  # n // 4
+        assert "double-approx" in out
+
+    def test_sliding_window_json_record(self, capsys):
+        code = main(
+            ["bench", "--n", "200", "--seed", "5", "--scenario",
+             "sliding-window", "--window-capacity", "40", "--arrival",
+             "evolving", "--format", "json", "double-approx"]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        workload = record["workload"]
+        assert workload["scenario"] == "sliding-window"
+        assert workload["arrival"] == "evolving"
+        assert workload["window_capacity"] == 40
+        assert workload["batches"] >= 1
+        # Mixed-workload knobs are explicitly null for scenario runs.
+        assert workload["insert_fraction"] is None
+        assert workload["query_count"] is None
+        (entry,) = record["algorithms"]
+        assert entry["scenario"] == "sliding-window"
+        assert not entry["skipped"]
+        assert entry["update_count"] > 0
+
+    def test_mixed_runs_stamp_scenario_too(self, capsys):
+        code = main(
+            ["bench", "--n", "150", "--seed", "6", "--format", "json",
+             "double-approx"]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["workload"]["scenario"] == "mixed"
+        (entry,) = record["algorithms"]
+        assert entry["scenario"] == "mixed"
+
+    def test_sliding_window_skips_insert_only_algorithms(self, capsys):
+        code = main(
+            ["bench", "--n", "150", "--scenario", "sliding-window",
+             "semi-approx"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out
+        assert "cannot expire a sliding window" in out
+
+    def test_semi_flag_conflicts_with_sliding_window(self, capsys):
+        code = main(
+            ["bench", "--n", "150", "--semi", "--scenario",
+             "sliding-window", "semi-approx"]
+        )
+        assert code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_bad_window_capacity_clean_error(self, capsys):
+        code = main(
+            ["bench", "--n", "150", "--scenario", "sliding-window",
+             "--window-capacity", "0", "double-approx"]
+        )
+        assert code == 2
+        assert "capacity" in capsys.readouterr().err
+
+
+class TestServeParser:
+    """The `serve` command (the asyncio service needs no socket here —
+    these pin the CLI surface; end-to-end serving is exercised by the
+    CI smoke step and tests/test_service.py)."""
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7171
+        assert args.algorithm == "full"
+        assert args.dim == 2
+        assert args.shards is None
+        assert args.window_capacity is None
+        assert args.max_sessions == 64
+        assert args.queue_depth == 32
+        assert args.max_inflight == 256
+        assert args.allow_shutdown_op is False
+
+    def test_knobs_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--algorithm", "double-approx",
+             "--shards", "4", "--shard-executor", "serial",
+             "--window-capacity", "500", "--max-sessions", "8",
+             "--queue-depth", "4", "--max-inflight", "16",
+             "--allow-shutdown-op"]
+        )
+        assert args.port == 9000
+        assert args.algorithm == "double-approx"
+        assert args.shards == 4
+        assert args.window_capacity == 500
+        assert args.max_sessions == 8
+        assert args.queue_depth == 4
+        assert args.max_inflight == 16
+        assert args.allow_shutdown_op is True
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--algorithm", "quantum"])
+
+    def test_bad_limits_clean_error(self, capsys):
+        code = main(["serve", "--max-sessions", "0"])
+        assert code == 2
+        assert "max_sessions" in capsys.readouterr().err
+
+    def test_windowed_semi_clean_error(self, capsys):
+        code = main(
+            ["serve", "--algorithm", "semi", "--window-capacity", "100"]
+        )
+        assert code == 2
+        assert "sliding window" in capsys.readouterr().err

@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 import random
+from collections import deque
 
 import pytest
 
-from repro.analysis.window import SlidingWindowClusterer
+import repro.api as api
+from repro.analysis.window import SlidingWindowClusterer, WindowedEngine
 from repro.baselines.static_dbscan import dbscan_brute
 from repro.core.fullydynamic import FullyDynamicClusterer
+from repro.errors import ConfigError, UnsupportedOperationError
 from repro.validation import check_invariants
 
 from conftest import assert_matches_static, clustered_points
@@ -134,3 +137,174 @@ class TestSlidingWindow:
             win.append(p)
             if i % 15 == 14:
                 assert check_invariants(win.clusterer) == []
+
+class TestWindowedEngine:
+    """The engine-native sliding window (satellite of the service PR).
+
+    The load-bearing contract: ``append_many`` is *defined* as
+    ``ingest`` + ``delete_many(oldest)`` and nothing else, so windowed
+    results are bit-identical at ``rho = 0`` to a caller doing the
+    explicit expiry by hand.
+    """
+
+    @staticmethod
+    def _engine(**overrides):
+        knobs = dict(algorithm="full", eps=2.0, minpts=3, rho=0.0, dim=2)
+        knobs.update(overrides)
+        return api.open(**knobs)
+
+    def test_capacity_validation(self):
+        with self._engine() as engine:
+            for bad in (0, -1, True, 1.5, "8", None):
+                with pytest.raises(ConfigError):
+                    WindowedEngine(engine, bad)
+
+    def test_rejects_insert_only_engine(self):
+        with api.open(algorithm="semi", eps=2.0, minpts=3, dim=2) as engine:
+            with pytest.raises(UnsupportedOperationError):
+                WindowedEngine(engine, 10)
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 7])
+    def test_expiry_equivalence_vs_explicit_delete_many(self, batch_size):
+        """Bit-identical to explicit oldest-first expiry at rho=0."""
+        pts = clustered_points(90, 2, seed=21)
+        batches = [
+            pts[i : i + batch_size] for i in range(0, len(pts), batch_size)
+        ]
+        capacity = 25
+        windowed = WindowedEngine(self._engine(), capacity)
+        explicit = self._engine()
+        fifo = deque()
+        try:
+            for batch in batches:
+                batch = [list(p) for p in batch]
+                pids, expired = windowed.append_many(batch)
+                want_pids = explicit.ingest(batch)
+                fifo.extend(want_pids)
+                want_expired = []
+                while len(fifo) > capacity:
+                    want_expired.append(fifo.popleft())
+                if want_expired:
+                    explicit.delete_many(want_expired)
+                assert pids == want_pids
+                assert expired == want_expired
+                assert len(windowed) == len(fifo)
+                got = windowed.snapshot()
+                want = explicit.snapshot()
+                assert sorted(sorted(c) for c in got.clusters) == sorted(
+                    sorted(c) for c in want.clusters
+                )
+                assert sorted(got.noise) == sorted(want.noise)
+                assert windowed.epoch == explicit.epoch
+            # Spot-check a query pass-through on the final state.
+            live = windowed.ids()
+            got_outcome = windowed.cgroup_by_many(live)
+            want_outcome = explicit.cgroup_by_many(live)
+            assert got_outcome.groups == want_outcome.groups
+            assert got_outcome.noise == want_outcome.noise
+        finally:
+            windowed.close()
+            explicit.close()
+
+    def test_batch_equal_to_capacity_replaces_window(self):
+        with WindowedEngine(self._engine(), 4) as win:
+            first, expired = win.append_many(
+                [[float(i), 0.0] for i in range(4)]
+            )
+            assert expired == []
+            second, expired = win.append_many(
+                [[float(i), 5.0] for i in range(4)]
+            )
+            assert expired == first
+            assert win.ids() == second
+
+    def test_batch_larger_than_capacity_expires_own_head(self):
+        """Overflow expires points of the arriving batch itself."""
+        with WindowedEngine(self._engine(), 3) as win:
+            pids, expired = win.append_many(
+                [[float(i), 0.0] for i in range(5)]
+            )
+            assert pids == [0, 1, 2, 3, 4]
+            assert expired == [0, 1]
+            assert win.ids() == [2, 3, 4]
+            assert len(win.engine) == 3
+
+    def test_capacity_one_keeps_only_newest(self):
+        with WindowedEngine(self._engine(), 1) as win:
+            for i in range(5):
+                pid = win.append([float(i), 0.0])
+                assert win.ids() == [pid]
+                assert win.oldest() == win.newest() == pid
+            assert len(win.engine) == 1
+
+    def test_empty_batch_is_a_no_op(self):
+        with WindowedEngine(self._engine(), 3) as win:
+            pids, expired = win.append_many([])
+            assert pids == [] and expired == []
+            assert len(win) == 0 and win.epoch == 0
+            assert win.oldest() is None and win.newest() is None
+
+    def test_empty_window_queries(self):
+        with WindowedEngine(self._engine(), 3) as win:
+            snap = win.snapshot()
+            assert snap.clusters == []
+            outcome = win.cgroup_by_many([])
+            assert outcome.groups == [] and outcome.noise == []
+
+    def test_membership_and_fifo_order(self):
+        with WindowedEngine(self._engine(), 3) as win:
+            pids, _ = win.append_many([[0.0, 0.0], [1.0, 0.0]])
+            third, expired = win.append_many([[2.0, 0.0], [3.0, 0.0]])
+            assert expired == [pids[0]]
+            assert pids[0] not in win
+            assert all(p in win for p in [pids[1]] + third)
+            assert win.ids() == [pids[1]] + third
+
+    def test_matches_per_point_sliding_window_clusterer(self):
+        """The engine-native window agrees with the per-point wrapper."""
+        pts = clustered_points(60, 2, seed=13)
+        legacy = SlidingWindowClusterer(20, 2.0, 4, rho=0.0, dim=2)
+        with WindowedEngine(
+            self._engine(eps=2.0, minpts=4), 20
+        ) as win:
+            for p in pts:
+                legacy.append(p)
+                win.append(list(p))
+            assert win.ids() == list(legacy.ids())
+            legacy_clusters = sorted(
+                tuple(sorted(c)) for c in legacy.clusters().clusters
+            )
+            win_clusters = sorted(
+                tuple(sorted(c)) for c in win.snapshot().clusters
+            )
+            assert win_clusters == legacy_clusters
+
+    def test_close_is_idempotent_and_context_manager(self):
+        win = WindowedEngine(self._engine(), 5)
+        win.append([0.0, 0.0])
+        win.close()
+        assert win.engine.closed
+        win.close()  # second close is a no-op via the engine's own
+
+    def test_works_over_sharded_engine(self):
+        """The window drives a ShardedEngine identically (rho=0)."""
+        sharded = WindowedEngine(
+            self._engine(shards=4, shard_executor="serial"), 15
+        )
+        plain = WindowedEngine(self._engine(), 15)
+        pts = clustered_points(45, 2, seed=31)
+        try:
+            for i in range(0, len(pts), 5):
+                batch = [list(p) for p in pts[i : i + 5]]
+                got = sharded.append_many(batch)
+                want = plain.append_many(batch)
+                assert got == want
+            got_snap = sharded.snapshot()
+            want_snap = plain.snapshot()
+            assert sorted(sorted(c) for c in got_snap.clusters) == sorted(
+                sorted(c) for c in want_snap.clusters
+            )
+            assert sorted(got_snap.noise) == sorted(want_snap.noise)
+        finally:
+            sharded.close()
+            plain.close()

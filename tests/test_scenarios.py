@@ -1,0 +1,262 @@
+"""Streaming scenarios: arrival regimes, traffic mixes, window runs.
+
+Satellites of the service PR: the burst-arrival / evolving-density
+seed-spreader regimes (:mod:`repro.workload.seed_spreader`), the
+fit-and-sample :class:`TrafficMixSampler`
+(:mod:`repro.workload.traffic`), and the sliding-window scenario
+builder + runner (:mod:`repro.workload.scenarios`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro.api as api
+from repro.errors import ConfigError
+from repro.workload import (
+    RunResult,
+    SlidingWindowScenario,
+    TrafficMixSampler,
+    TrafficOp,
+    burst_arrival_stream,
+    default_service_mix,
+    evolving_density_stream,
+    run_sliding_window,
+    sliding_window_scenario,
+)
+from repro.workload.traffic import DEFAULT_SERVICE_TRACE
+
+
+def _flat(batches):
+    return [p for batch in batches for p in batch]
+
+
+class TestBurstArrivalStream:
+    def test_total_points_and_dim(self):
+        batches = burst_arrival_stream(500, 3, seed=7)
+        points = _flat(batches)
+        assert len(points) == 500
+        assert all(len(p) == 3 for p in points)
+        assert all(batch for batch in batches), "no empty ticks"
+
+    def test_deterministic_under_seed(self):
+        a = burst_arrival_stream(400, 2, seed=42)
+        b = burst_arrival_stream(400, 2, seed=42)
+        assert a == b
+        c = burst_arrival_stream(400, 2, seed=43)
+        assert a != c
+
+    def test_burstiness_has_two_modes(self):
+        """Hot ticks are an order of magnitude larger than quiet ones;
+        a long run must show both small and large batches."""
+        sizes = [len(b) for b in burst_arrival_stream(4000, 2, seed=1)]
+        assert min(sizes) <= 8
+        assert max(sizes) >= 48
+        # Heavy tail: the biggest tick dwarfs the median.
+        sizes.sort()
+        median = sizes[len(sizes) // 2]
+        assert sizes[-1] >= 4 * median
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burst_arrival_stream(0, 2)
+        with pytest.raises(ValueError):
+            burst_arrival_stream(10, 0)
+        with pytest.raises(ValueError):
+            burst_arrival_stream(10, 2, quiet_mean=0)
+        with pytest.raises(ValueError):
+            burst_arrival_stream(10, 2, hot_probability=1.5)
+
+
+class TestEvolvingDensityStream:
+    def test_total_points_and_tick_size(self):
+        batches = evolving_density_stream(325, 2, seed=3, tick_size=50)
+        assert [len(b) for b in batches[:-1]] == [50] * 6
+        assert len(batches[-1]) == 25
+        assert all(len(p) == 2 for p in _flat(batches))
+
+    def test_deterministic_under_seed(self):
+        a = evolving_density_stream(300, 2, seed=11)
+        b = evolving_density_stream(300, 2, seed=11)
+        assert a == b
+        assert a != evolving_density_stream(300, 2, seed=12)
+
+    def test_density_actually_evolves(self):
+        """Early arrivals are diffuse, late arrivals dense: the mean
+        nearest-neighbor spacing must shrink from head to tail."""
+
+        def mean_nn(points):
+            total = 0.0
+            for i, p in enumerate(points):
+                best = math.inf
+                for j, q in enumerate(points):
+                    if i != j:
+                        d = math.dist(p, q)
+                        if d < best:
+                            best = d
+                total += best
+            return total / len(points)
+
+        pts = _flat(
+            evolving_density_stream(
+                600,
+                2,
+                seed=5,
+                start_radius=150.0,
+                end_radius=25.0,
+                noise_fraction=0.0,
+            )
+        )
+        head, tail = pts[:150], pts[-150:]
+        assert mean_nn(tail) < mean_nn(head)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            evolving_density_stream(0, 2)
+        with pytest.raises(ValueError):
+            evolving_density_stream(10, 2, tick_size=0)
+        with pytest.raises(ValueError):
+            evolving_density_stream(10, 2, start_radius=0.0)
+
+
+class TestTrafficMixSampler:
+    def test_fit_and_weights(self):
+        sampler = TrafficMixSampler.fit(
+            [("ingest", 10), ("ingest", 20), ("cgroup_by", 5), ("ingest", 10)]
+        )
+        assert sampler.kinds == ["cgroup_by", "ingest"]
+        assert sampler.weight("ingest") == pytest.approx(0.75)
+        assert sampler.weight("cgroup_by") == pytest.approx(0.25)
+        assert sampler.weight("unheard_of") == 0.0
+
+    def test_sample_is_deterministic_and_from_support(self):
+        sampler = default_service_mix()
+        a = sampler.sample(200, seed=9)
+        b = sampler.sample(200, seed=9)
+        assert a == b
+        assert a != sampler.sample(200, seed=10)
+        support = set(DEFAULT_SERVICE_TRACE)
+        assert all((op.kind, op.size) in support for op in a)
+        assert all(isinstance(op, TrafficOp) for op in a)
+
+    def test_sample_tracks_fitted_weights(self):
+        sampler = default_service_mix()
+        ops = sampler.sample(3000, seed=1)
+        for kind in sampler.kinds:
+            got = sum(1 for op in ops if op.kind == kind) / len(ops)
+            assert got == pytest.approx(sampler.weight(kind), abs=0.05)
+
+    def test_describe_summarizes_each_kind(self):
+        sampler = TrafficMixSampler.fit([("ingest", 10), ("ingest", 30)])
+        summary = sampler.describe()
+        assert summary["ingest"]["weight"] == 1.0
+        assert summary["ingest"]["mean_size"] == 20.0
+        assert summary["ingest"]["max_size"] == 30.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TrafficMixSampler({})
+        with pytest.raises(ConfigError):
+            TrafficMixSampler({"ingest": []})
+        with pytest.raises(ConfigError):
+            TrafficMixSampler({"ingest": [0]})
+        with pytest.raises(ConfigError):
+            default_service_mix().sample(-1)
+
+    def test_empty_sample(self):
+        assert default_service_mix().sample(0, seed=4) == []
+
+
+class TestSlidingWindowScenario:
+    def test_defaults(self):
+        scenario = sliding_window_scenario(400, 2, seed=8)
+        assert scenario.capacity == 100  # n // 4
+        assert scenario.arrival == "burst"
+        assert scenario.dim == 2
+        assert scenario.total_points == 400
+
+    def test_capacity_floor_for_tiny_n(self):
+        assert sliding_window_scenario(2, 2, seed=8).capacity == 1
+
+    @pytest.mark.parametrize("arrival", ["burst", "evolving"])
+    def test_arrival_regimes(self, arrival):
+        scenario = sliding_window_scenario(300, 2, arrival=arrival, seed=8)
+        assert scenario.arrival == arrival
+        assert scenario.total_points == 300
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            sliding_window_scenario(100, 2, arrival="tsunami")
+        with pytest.raises(ConfigError):
+            sliding_window_scenario(100, 2, query_frequency=0)
+        with pytest.raises(ConfigError):
+            sliding_window_scenario(100, 2, query_size=0)
+
+
+class TestRunSlidingWindow:
+    @staticmethod
+    def _engine(**overrides):
+        knobs = dict(algorithm="full", eps=2.0, minpts=3, rho=0.0, dim=2)
+        knobs.update(overrides)
+        return api.open(**knobs)
+
+    def test_result_shape_and_scenario_stamp(self):
+        scenario = sliding_window_scenario(
+            200, 2, capacity=50, query_frequency=3, seed=17
+        )
+        with self._engine() as engine:
+            result = run_sliding_window(engine, scenario)
+        assert isinstance(result, RunResult)
+        assert result.scenario == "sliding-window"
+        assert result.shards == 1
+        kinds = set(result.op_kinds)
+        assert kinds == {"window_append", "query"}
+        assert len(result.op_kinds) == len(result.op_costs)
+        assert len(result.op_kinds) == len(result.op_sizes)
+        appends = result.op_kinds.count("window_append")
+        assert appends == len(scenario.batches)
+        # Every append's size covers its inserts plus its expiries:
+        # totals across the run are n inserts + (n - capacity) expiries.
+        append_sizes = [
+            s
+            for k, s in zip(result.op_kinds, result.op_sizes)
+            if k == "window_append"
+        ]
+        assert sum(append_sizes) == 200 + (200 - 50)
+        assert all(c >= 0 for c in result.op_costs)
+
+    def test_same_scenario_same_op_sequence(self):
+        """Two runs of one scenario execute identical op sequences
+        (costs differ, kinds and sizes don't)."""
+        scenario = sliding_window_scenario(150, 2, seed=23)
+        with self._engine() as a, self._engine() as b:
+            ra = run_sliding_window(a, scenario)
+            rb = run_sliding_window(b, scenario)
+        assert ra.op_kinds == rb.op_kinds
+        assert ra.op_sizes == rb.op_sizes
+
+    def test_max_batches_prefix(self):
+        scenario = sliding_window_scenario(
+            200, 2, arrival="evolving", seed=2
+        )
+        with self._engine() as engine:
+            result = run_sliding_window(engine, scenario, max_batches=2)
+            assert result.op_kinds.count("window_append") == 2
+            fed = sum(len(b) for b in scenario.batches[:2])
+            assert len(engine) == min(fed, scenario.capacity)
+
+    def test_window_capacity_is_respected_end_to_end(self):
+        scenario = sliding_window_scenario(120, 2, capacity=30, seed=5)
+        with self._engine() as engine:
+            run_sliding_window(engine, scenario)
+            assert len(engine) == 30
+
+    def test_sharded_engine_runs_scenario(self):
+        scenario = sliding_window_scenario(120, 2, capacity=40, seed=19)
+        with self._engine(shards=2, shard_executor="serial") as engine:
+            result = run_sliding_window(engine, scenario)
+        assert result.scenario == "sliding-window"
+        assert result.shards == 2
+        assert result.transport == "inline"

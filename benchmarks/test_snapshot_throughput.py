@@ -17,6 +17,12 @@ snapshots must be at least 3x faster than the cache-off path taking the
 same snapshots after the same batches.  A second regime covers 5d
 fully-dynamic data with interleaved localized deletions.
 
+A third regime covers the *sharded* serving path: the router's
+persistent boundary-witness cache keeps cross-shard ``any_within``
+verdicts across query barriers, invalidating only pairs near mutated
+cells, so repeated sharded snapshots between localized batches stop
+re-probing the entire boundary.
+
 Bit-identity of cached snapshots is asserted exhaustively in
 ``tests/test_fragment_cache.py``; this file re-checks it per round as a
 cheap sanity gate.  Results go to
@@ -166,6 +172,76 @@ def test_full_5d_warm_snapshot_speedup():
         )
     else:
         assert speedup > 0.2, f"fragment cache degenerated: {speedup:.2f}x"
+
+
+def test_sharded_2d_warm_boundary_merge_speedup():
+    """Warm-vs-cold across the sharded path's boundary-witness cache.
+
+    ``shard_block=1`` shreds ownership so the boundary cuts through
+    every cluster — the worst case for the merge, and therefore the
+    best case for caching its witnesses.  Snapshots must stay
+    bit-identical with the cache on, and the warm run must serve
+    witnesses from cache.
+    """
+    import repro.api as api
+
+    n = min(N, 20000)
+    points = seed_spreader(n, DIM, seed=44)
+    batches = _localized_batches(
+        points, DIM, ROUNDS, batch=max(10, n // 1000), seed=9
+    )
+
+    def open_sharded(cache):
+        return api.open(
+            algorithm="full",
+            eps=EPS,
+            minpts=MINPTS,
+            rho=RHO,
+            dim=DIM,
+            shards=2,
+            shard_block=1,
+            shard_executor="serial",
+            fragment_cache=cache,
+        )
+
+    def drive(engine):
+        total = 0.0
+        snaps = []
+        for batch in batches:
+            engine.insert_many(batch)
+            start = time.perf_counter()
+            snap = engine.snapshot().clustering
+            total += time.perf_counter() - start
+            snaps.append(_canon(snap))
+        return total, snaps
+
+    warm = open_sharded(True)
+    cold = open_sharded(False)
+    try:
+        for engine in (warm, cold):
+            engine.ingest(points)
+            engine.snapshot()  # untimed: primes trees and caches
+        t_warm, warm_snaps = drive(warm)
+        t_cold, cold_snaps = drive(cold)
+        assert warm_snaps == cold_snaps, (
+            "cached sharded snapshots diverged from the cache-off path"
+        )
+        assert warm.raw.merge_cache_hits > 0, (
+            "warm router served no boundary witnesses from cache"
+        )
+        assert cold.raw.merge_cache_hits == 0
+    finally:
+        warm.close()
+        cold.close()
+    speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    _collected["sharded 2d boundary merge"] = (n, t_cold, t_warm, speedup)
+    if n >= ASSERT_FLOOR_N:
+        assert speedup >= 1.05, (
+            f"warm sharded snapshots must beat cache-off at n={n}, got "
+            f"{speedup:.2f}x ({t_cold:.3f}s cold vs {t_warm:.3f}s warm)"
+        )
+    else:
+        assert speedup > 0.2, f"witness cache degenerated: {speedup:.2f}x"
 
 
 def test_zz_write_results():

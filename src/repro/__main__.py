@@ -8,6 +8,9 @@ Commands:
   for the streaming sliding-window scenario family.
 * ``serve``    — start the streaming cluster-analytics service
   (:mod:`repro.service`) over one engine (single or sharded).
+* ``shard-worker`` — run one remote shard worker for the TCP executor
+  (:mod:`repro.shard.rpc`); point an engine at it with
+  ``shard_executor="tcp"`` and ``shard_workers=["host:port", ...]``.
 * ``generate`` — write a seed-spreader dataset as CSV to stdout or a file.
 * ``usec``     — run the Theorem 2 hardness reduction on random instances.
 """
@@ -55,6 +58,7 @@ def _engine_for(
     shard_transport: str | None = None,
     shard_call_timeout: float | None = None,
     fragment_cache: bool | None = None,
+    shard_workers: tuple | None = None,
 ):
     """One benchmark engine: the CLI's bench path runs through repro.api."""
     # Exact and rho-free algorithms ignore --rho (matching the historical
@@ -76,8 +80,17 @@ def _engine_for(
         shard_transport=shard_transport if shards else None,
         shard_call_timeout=shard_call_timeout if shards else None,
         fragment_cache=fragment_cache,
+        shard_workers=shard_workers if shards else None,
     )
     return repro.api.open(config)
+
+
+def _worker_list(spec: str | None) -> tuple | None:
+    """Split a ``host:port,host:port`` CLI value (validation is the
+    config's job, so the CLI reports the same message as the API)."""
+    if spec is None:
+        return None
+    return tuple(part.strip() for part in spec.split(",") if part.strip())
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -126,6 +139,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 shard_executor=args.shard_executor,
                 shard_transport=args.shard_transport,
                 shard_call_timeout=args.shard_call_timeout,
+                shard_workers=_worker_list(args.shard_workers),
             )
         except ConfigError as exc:
             print(str(exc), file=sys.stderr)
@@ -242,6 +256,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             args.shard_transport,
             args.shard_call_timeout,
             fragment_cache,
+            _worker_list(args.shard_workers),
         )
         result = (
             run_sliding_window(engine, scenario)
@@ -361,6 +376,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             args.shard_transport,
             args.shard_call_timeout,
             None,
+            _worker_list(args.shard_workers),
         )
         limits = ServiceLimits(
             max_sessions=args.max_sessions,
@@ -386,6 +402,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 0
     finally:
         engine.close()
+
+
+def cmd_shard_worker(args: argparse.Namespace) -> int:
+    from repro.shard.rpc import serve_worker
+
+    try:
+        serve_worker(args.host, args.port, once=args.once)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+    except OSError as exc:
+        print(f"cannot serve on {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -497,11 +526,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--shard-executor",
-        choices=("serial", "process"),
+        choices=("serial", "process", "tcp"),
         default="serial",
-        help="where shard engines live: in-process (serial) or one "
-        "worker process per shard (process); only meaningful with "
-        "--shards",
+        help="where shard engines live: in-process (serial), one "
+        "worker process per shard (process), or one remote "
+        "'python -m repro shard-worker' per shard (tcp, with "
+        "--shard-workers); only meaningful with --shards",
+    )
+    bench.add_argument(
+        "--shard-workers",
+        type=str,
+        default=None,
+        help="comma-separated host:port worker addresses for the tcp "
+        "executor, one per shard (default: REPRO_SHARD_WORKERS)",
     )
     bench.add_argument(
         "--shard-transport",
@@ -597,9 +634,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--shard-executor",
-        choices=("serial", "process"),
+        choices=("serial", "process", "tcp"),
         default="serial",
         help="where shard engines live; only meaningful with --shards",
+    )
+    serve.add_argument(
+        "--shard-workers",
+        type=str,
+        default=None,
+        help="comma-separated host:port worker addresses for the tcp "
+        "executor, one per shard (default: REPRO_SHARD_WORKERS)",
     )
     serve.add_argument(
         "--shard-transport",
@@ -665,6 +709,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(useful for scripted smoke tests; off by default)",
     )
     serve.set_defaults(func=cmd_serve)
+
+    worker = sub.add_parser(
+        "shard-worker",
+        help="run one remote shard worker for the tcp executor "
+        "(serves ShardBackend sessions over a socket; see "
+        "repro.shard.rpc)",
+    )
+    worker.add_argument("--host", type=str, default="127.0.0.1")
+    worker.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to bind (0 binds an ephemeral port, announced "
+        "on stdout)",
+    )
+    worker.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after serving one engine session (scripted tests)",
+    )
+    worker.set_defaults(func=cmd_shard_worker)
 
     gen = sub.add_parser("generate", help="emit a seed-spreader dataset (CSV)")
     gen.add_argument("--n", type=int, default=10000)

@@ -51,9 +51,11 @@ _EXACT_ONLY = ("incdbscan", "recompute")
 #: buffer.
 DEFAULT_FLUSH_THRESHOLD = 4096
 
-#: Shard executor choices (see :mod:`repro.shard.executors`): backends
-#: in-process and called inline, or one worker process per shard.
-SHARD_EXECUTOR_CHOICES = ("serial", "process")
+#: Shard executor choices (see :mod:`repro.shard.executors` and
+#: :mod:`repro.shard.rpc`): backends in-process and called inline, one
+#: worker process per shard, or one remote TCP worker per shard
+#: (``python -m repro shard-worker``, addressed via ``shard_workers``).
+SHARD_EXECUTOR_CHOICES = ("serial", "process", "tcp")
 
 #: Transports of the ``process`` shard executor (see
 #: :mod:`repro.shard.transport`): ``pickle`` ships whole call messages
@@ -106,6 +108,35 @@ DEFAULT_SHARD_CALL_TIMEOUT = 60.0
 #: ``REPRO_SHARD_MAX_RESTARTS`` environment variable.
 DEFAULT_SHARD_MAX_RESTARTS = 3
 
+#: Default journal-truncation period of the shard supervisor: after
+#: this many journaled mutating calls on one shard, the supervisor
+#: captures a state snapshot from the worker and truncates the journal
+#: prefix, so recovery replays snapshot + suffix and the journal's
+#: memory footprint stays bounded regardless of update history.
+#: Overridable via the ``REPRO_SHARD_JOURNAL_SNAPSHOT_EVERY``
+#: environment variable.
+DEFAULT_SHARD_JOURNAL_SNAPSHOT_EVERY = 512
+
+
+def _parse_worker_address(spec: str) -> Tuple[str, int]:
+    """Parse one ``host:port`` shard-worker address (ConfigError on junk)."""
+    if not isinstance(spec, str) or ":" not in spec:
+        raise ConfigError(
+            f"shard worker address must be a 'host:port' string, got "
+            f"{spec!r}"
+        )
+    host, _, port_text = spec.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not host or not (0 < port < 65536):
+        raise ConfigError(
+            f"shard worker address must be a 'host:port' string with a "
+            f"valid port, got {spec!r}"
+        )
+    return host, port
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -120,10 +151,18 @@ class EngineConfig:
     (no ``shards``).  Setting ``shards`` makes :func:`repro.api.open`
     build a :class:`repro.shard.ShardedEngine` instead; ``shard_block``
     (ownership block side, in cells per axis), ``shard_executor``
-    (``serial`` / ``process``), ``shard_transport`` (``pickle`` /
-    ``shm``; process executor only, default auto → ``shm``) and
-    ``shard_start_method`` (``fork`` / ``spawn`` / ``forkserver``,
-    default ``spawn``) tune the deployment and require ``shards``.
+    (``serial`` / ``process`` / ``tcp``), ``shard_transport``
+    (``pickle`` / ``shm``; process executor only, default auto →
+    ``shm``), ``shard_start_method`` (``fork`` / ``spawn`` /
+    ``forkserver``, default ``spawn``) and ``shard_workers`` (one
+    ``host:port`` per shard; tcp executor only, env fallback
+    ``REPRO_SHARD_WORKERS``) tune the deployment and require
+    ``shards``.  ``shard_journal_snapshot_every`` bounds the
+    supervisor's recovery journal: after that many journaled mutations
+    on one shard its state is snapshotted and the journal prefix
+    truncated (default
+    :data:`DEFAULT_SHARD_JOURNAL_SNAPSHOT_EVERY`, env fallback
+    ``REPRO_SHARD_JOURNAL_SNAPSHOT_EVERY``).
     Fault tolerance of the process executor is tuned by
     ``shard_call_timeout`` (deadline in seconds on every reply wait,
     default :data:`DEFAULT_SHARD_CALL_TIMEOUT`),
@@ -168,6 +207,8 @@ class EngineConfig:
     shard_call_timeout: Optional[float] = None
     shard_max_restarts: Optional[int] = None
     shard_fault_plan: Optional[str] = None
+    shard_workers: Optional[Tuple[str, ...]] = None
+    shard_journal_snapshot_every: Optional[int] = None
     fragment_cache: Optional[bool] = None
 
     def __post_init__(self) -> None:
@@ -290,7 +331,8 @@ class EngineConfig:
                 raise ConfigError(
                     f"shard_transport={self.shard_transport!r} requires "
                     f"shard_executor='process'; the serial executor calls "
-                    f"backends inline and has no transport"
+                    f"backends inline and the tcp executor frames calls "
+                    f"over its sockets"
                 )
         if self.shard_start_method is not None:
             if self.shards is None:
@@ -348,11 +390,11 @@ class EngineConfig:
                     f"shard_fault_plan={self.shard_fault_plan!r} requires "
                     f"shards to be set"
                 )
-            if self.resolved_shard_executor != "process":
+            if self.resolved_shard_executor not in ("process", "tcp"):
                 raise ConfigError(
                     f"shard_fault_plan={self.shard_fault_plan!r} requires "
-                    f"shard_executor='process'; fault plans are consulted "
-                    f"by worker processes, which the serial executor does "
+                    f"shard_executor='process' or 'tcp'; fault plans are "
+                    f"consulted by workers, which the serial executor does "
                     f"not have"
                 )
             if not isinstance(self.shard_fault_plan, str):
@@ -364,6 +406,54 @@ class EngineConfig:
             from repro.shard.faults import parse_fault_plan
 
             parse_fault_plan(self.shard_fault_plan)
+        if self.shard_workers is not None:
+            if self.shards is None:
+                raise ConfigError(
+                    f"shard_workers={self.shard_workers!r} requires shards "
+                    f"to be set"
+                )
+            if self.resolved_shard_executor != "tcp":
+                raise ConfigError(
+                    f"shard_workers={self.shard_workers!r} requires "
+                    f"shard_executor='tcp'; only the tcp executor connects "
+                    f"to externally launched workers"
+                )
+            if isinstance(self.shard_workers, str) or not isinstance(
+                self.shard_workers, (list, tuple)
+            ):
+                raise ConfigError(
+                    f"shard_workers must be a sequence of 'host:port' "
+                    f"strings or None, got {self.shard_workers!r}"
+                )
+            for spec in self.shard_workers:
+                _parse_worker_address(spec)
+            # Frozen dataclass: normalize list input to a hashable tuple.
+            object.__setattr__(
+                self, "shard_workers", tuple(self.shard_workers)
+            )
+            if len(self.shard_workers) != self.shards:
+                raise ConfigError(
+                    f"shard_workers lists {len(self.shard_workers)} "
+                    f"addresses but shards={self.shards}; exactly one "
+                    f"worker address per shard is required"
+                )
+        if self.shard_journal_snapshot_every is not None:
+            if self.shards is None:
+                raise ConfigError(
+                    f"shard_journal_snapshot_every="
+                    f"{self.shard_journal_snapshot_every!r} requires "
+                    f"shards to be set"
+                )
+            if (
+                not isinstance(self.shard_journal_snapshot_every, int)
+                or isinstance(self.shard_journal_snapshot_every, bool)
+                or self.shard_journal_snapshot_every < 1
+            ):
+                raise ConfigError(
+                    f"shard_journal_snapshot_every must be a positive "
+                    f"integer or None, got "
+                    f"{self.shard_journal_snapshot_every!r}"
+                )
         if self.fragment_cache is not None and not isinstance(
             self.fragment_cache, bool
         ):
@@ -416,10 +506,14 @@ class EngineConfig:
         """The transport the deployment's executor actually moves calls on.
 
         ``inline`` for the serial executor (backends are called
-        in-process; nothing is transported).  For the process executor:
-        the explicit ``shard_transport`` knob if set, else the
-        ``REPRO_SHARD_TRANSPORT`` environment variable, else ``shm``.
+        in-process; nothing is transported), ``tcp`` for the tcp
+        executor (length-prefixed socket frames; not tunable).  For the
+        process executor: the explicit ``shard_transport`` knob if set,
+        else the ``REPRO_SHARD_TRANSPORT`` environment variable, else
+        ``shm``.
         """
+        if self.resolved_shard_executor == "tcp":
+            return "tcp"
         if self.resolved_shard_executor != "process":
             return "inline"
         if self.shard_transport is not None:
@@ -523,13 +617,13 @@ class EngineConfig:
     def resolved_shard_fault_plan(self) -> Optional[str]:
         """The fault plan worker processes consult, or ``None``.
 
-        ``None`` unless the deployment runs the process executor
-        (fault plans inject into worker processes).  Then: the
+        ``None`` unless the deployment runs the process or tcp
+        executor (fault plans inject into workers).  Then: the
         explicit ``shard_fault_plan`` knob if set, else the
         ``REPRO_FAULT_PLAN`` environment variable (validated here),
         else ``None`` — the zero-overhead default.
         """
-        if self.resolved_shard_executor != "process":
+        if self.resolved_shard_executor not in ("process", "tcp"):
             return None
         if self.shard_fault_plan is not None:
             return self.shard_fault_plan
@@ -543,6 +637,60 @@ class EngineConfig:
                 raise ConfigError(f"REPRO_FAULT_PLAN: {exc}") from None
             return env
         return None
+
+    @property
+    def resolved_shard_workers(self) -> Tuple[Tuple[str, int], ...]:
+        """The ``(host, port)`` address of every tcp shard worker.
+
+        The explicit ``shard_workers`` knob if set, else the
+        ``REPRO_SHARD_WORKERS`` environment variable (comma-separated
+        ``host:port`` list).  Only meaningful for the tcp executor;
+        raises :class:`ConfigError` when neither source names exactly
+        one address per shard.
+        """
+        specs = self.shard_workers
+        if specs is None:
+            env = os.environ.get("REPRO_SHARD_WORKERS")
+            if not env:
+                raise ConfigError(
+                    "shard_executor='tcp' needs worker addresses: set "
+                    "shard_workers=['host:port', ...] or the "
+                    "REPRO_SHARD_WORKERS environment variable "
+                    "(comma-separated)"
+                )
+            specs = tuple(s.strip() for s in env.split(",") if s.strip())
+        addresses = tuple(_parse_worker_address(spec) for spec in specs)
+        if self.shards is not None and len(addresses) != self.shards:
+            raise ConfigError(
+                f"{len(addresses)} shard worker addresses for "
+                f"shards={self.shards}; exactly one worker per shard is "
+                f"required"
+            )
+        return addresses
+
+    @property
+    def resolved_shard_journal_snapshot_every(self) -> int:
+        """The supervisor's journal-truncation period (mutations/shard).
+
+        The explicit ``shard_journal_snapshot_every`` knob if set, else
+        the ``REPRO_SHARD_JOURNAL_SNAPSHOT_EVERY`` environment
+        variable, else :data:`DEFAULT_SHARD_JOURNAL_SNAPSHOT_EVERY`.
+        """
+        if self.shard_journal_snapshot_every is not None:
+            return self.shard_journal_snapshot_every
+        env = os.environ.get("REPRO_SHARD_JOURNAL_SNAPSHOT_EVERY")
+        if env:
+            try:
+                period = int(env)
+            except ValueError:
+                period = 0
+            if period < 1:
+                raise ConfigError(
+                    f"REPRO_SHARD_JOURNAL_SNAPSHOT_EVERY={env!r} is not a "
+                    f"positive integer"
+                )
+            return period
+        return DEFAULT_SHARD_JOURNAL_SNAPSHOT_EVERY
 
     def replace(self, **changes) -> "EngineConfig":
         """A new validated config with the given fields replaced."""

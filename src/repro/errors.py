@@ -34,6 +34,11 @@ The hierarchy:
     stopped worker surfaces as this instead of blocking the parent
     forever; the shard supervisor treats it as a recoverable failure
     (kill, respawn, replay).  Subclasses the builtin ``TimeoutError``.
+  * :class:`StaleOwnershipError` — a routed shard call carried an
+    ownership-table version that does not match the worker's table.
+    Raised by the worker (and relayed verbatim) so a router that
+    missed a ``rebalance`` fails loudly instead of silently reading
+    or writing blocks the shard no longer owns.
 """
 
 from __future__ import annotations
@@ -82,6 +87,20 @@ class ShardTimeoutError(ReproError, TimeoutError):
     """
 
 
+class StaleOwnershipError(ReproError):
+    """A routed shard call carried a stale ownership-table version.
+
+    Every data-plane call the shard router fans out (``ingest``,
+    ``delete_many``, ``merge_state``) is stamped with the router's
+    block→shard ownership-table version.  A worker whose table is at a
+    different version rejects the call with this error instead of
+    acting on blocks it may no longer own — the distributed analogue
+    of the per-shard epoch token the boundary merge already checks.
+    Not a recoverable failure: replaying the same stale call cannot
+    succeed, so the supervisor relays it to the caller.
+    """
+
+
 __all__ = [
     "ReproError",
     "ConfigError",
@@ -89,4 +108,5 @@ __all__ = [
     "InvalidQueryError",
     "UnsupportedOperationError",
     "ShardTimeoutError",
+    "StaleOwnershipError",
 ]

@@ -79,7 +79,7 @@ class ServiceClient:
                 line = await self._reader.readline()
                 if not line:
                     self._fail_pending(
-                        ReproError("service closed the connection")
+                        None, "service closed the connection"
                     )
                     return
                 if not line.strip():
@@ -91,18 +91,35 @@ class ServiceClient:
                 # Responses with unknown / absent ids (e.g. a reject
                 # issued before the request was parsed) are dropped;
                 # their requester already failed or never existed.
-        except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
-            self._fail_pending(exc)
         except asyncio.CancelledError:
-            self._fail_pending(ReproError("client is closing"))
+            self._fail_pending(None, "client is closing")
             raise
+        except Exception as exc:  # noqa: BLE001
+            # Any way the pump can die — a connection reset, a socket
+            # error, an over-long or garbled line from a crashing
+            # server — must fail every outstanding request: a pending
+            # future nothing will ever resolve is a caller hung
+            # forever.
+            self._fail_pending(
+                exc, f"connection to the service was lost: {exc}"
+            )
 
-    def _fail_pending(self, exc: Exception) -> None:
-        self._conn_lost = exc
+    def _fail_pending(
+        self, cause: Optional[BaseException], message: str
+    ) -> None:
+        """Fail every outstanding request with a :class:`ServiceError`.
+
+        Callers always see the client's documented failure surface
+        (``ServiceError`` with code 503) whatever the underlying cause
+        — raw ``OSError`` / decode errors ride along as ``__cause__``.
+        """
+        error = ServiceError(protocol.UNAVAILABLE, "connection_lost", message)
+        error.__cause__ = cause
+        self._conn_lost = error
         pending, self._pending = self._pending, {}
         for future in pending.values():
             if not future.done():
-                future.set_exception(exc)
+                future.set_exception(error)
 
     # ------------------------------------------------------------------
     # Request submission

@@ -19,13 +19,15 @@ Open one through the front door with the ``shards`` knob::
     pids = engine.ingest(points)        # routed + halo-replicated
     outcome = engine.cgroup_by(pids)    # merged, epoch-stamped
 
-Layering: :class:`ShardTopology` (pure ownership/halo geometry) →
+Layering: :class:`ShardTopology` (versioned ownership/halo geometry) →
 :class:`ShardBackend` (one engine behind its trust predicate) →
-executors (in-process serial, or one worker process per shard) →
-:class:`ShardSupervisor` (per-shard journal, deadline-bounded calls,
-restart with exact replay; process executor only) →
-:class:`ShardRouter` (global id space, routing, boundary merge) →
-:class:`ShardedEngine` (the ``repro.api``-shaped facade).
+executors (in-process serial, one worker process per shard, or one
+remote TCP worker per shard via :class:`TcpShardExecutor`) →
+:class:`ShardSupervisor` (per-shard journal with snapshot truncation,
+deadline-bounded calls, restart/reconnect with exact replay) →
+:class:`ShardRouter` (global id space, routing, boundary merge, online
+``rebalance``) → :class:`ShardedEngine` (the ``repro.api``-shaped
+facade).
 
 Failures are first-class: a hung worker raises
 :class:`repro.errors.ShardTimeoutError` within the configured
@@ -42,6 +44,7 @@ from repro.shard.engine import SHARD_EXECUTOR_CHOICES, ShardedEngine, ShardedSta
 from repro.shard.executors import ProcessShardExecutor, SerialShardExecutor
 from repro.shard.faults import FaultRule, parse_fault_plan
 from repro.shard.router import ShardRouter
+from repro.shard.rpc import TcpShardExecutor, local_workers, serve_worker
 from repro.shard.supervisor import ShardSupervisor
 from repro.shard.topology import ShardTopology
 
@@ -56,5 +59,8 @@ __all__ = [
     "ShardTopology",
     "ShardedEngine",
     "ShardedStats",
+    "TcpShardExecutor",
+    "local_workers",
     "parse_fault_plan",
+    "serve_worker",
 ]

@@ -27,6 +27,7 @@ from repro.core.fragments import FragmentCacheStats
 from repro.errors import ConfigError, UnknownPointError, UnsupportedOperationError
 from repro.shard.executors import ProcessShardExecutor, SerialShardExecutor
 from repro.shard.router import ShardRouter
+from repro.shard.rpc import TcpShardExecutor
 from repro.shard.supervisor import ShardSupervisor
 
 
@@ -95,12 +96,19 @@ class ShardedEngine:
             )
         if config.backend is not None:
             kernels.use_backend(config.backend)
-        if config.resolved_shard_executor == "process":
+        executor_kind = config.resolved_shard_executor
+        if executor_kind == "process":
             # Worker processes can die or hang: supervise them with the
             # journal/restart/replay layer (invisible to the router;
             # shard_max_restarts=0 makes every failure fatal again).
             executor = ShardSupervisor(
                 ProcessShardExecutor(config, config.shards), config
+            )
+        elif executor_kind == "tcp":
+            # Remote workers fail in the same ways local ones do (plus
+            # the network); the same supervisor reconnects and replays.
+            executor = ShardSupervisor(
+                TcpShardExecutor(config, config.shards), config
             )
         else:
             executor = SerialShardExecutor(config, config.shards)
@@ -149,6 +157,23 @@ class ShardedEngine:
 
     def is_core(self, pid: int) -> bool:
         return self._router.is_core(pid)
+
+    @property
+    def ownership_version(self) -> int:
+        """Current version of the block→shard ownership table."""
+        return self._router.ownership_version
+
+    def rebalance(self, block: Sequence[int], dest: int) -> int:
+        """Migrate one ownership block to shard ``dest`` online.
+
+        Transfers the block's influence set, broadcasts the new
+        versioned table to every shard, then flips the router — callers
+        observe one atomic ownership change (and every in-flight call
+        routed under the old version is rejected with
+        :class:`repro.errors.StaleOwnershipError` rather than merging
+        mixed ownership).  Returns the new table version.
+        """
+        return self._router.rebalance(tuple(block), dest)
 
     # ------------------------------------------------------------------
     # Updates

@@ -119,10 +119,12 @@ class SerialShardExecutor:
     def __init__(self, config: EngineConfig, shard_count: int) -> None:
         self.shard_count = shard_count
         self.transport = "inline"
+        self._config = config
         self._backends = [
             ShardBackend(config, index, shard_count)
             for index in range(shard_count)
         ]
+        self._restarts = [0] * shard_count
         self._closed = False
 
     def _ensure_open(self) -> None:
@@ -131,6 +133,23 @@ class SerialShardExecutor:
                 "this serial shard executor is closed; calls after "
                 "close() are a lifecycle bug in the caller"
             )
+
+    def restart_worker(self, shard_index: int) -> None:
+        """Replace one backend with a freshly built (empty) one.
+
+        In-process twin of the process/tcp restart primitive, so the
+        supervisor's journal/snapshot recovery can be driven (and
+        tested) without spawning anything.
+        """
+        self._ensure_open()
+        self._backends[shard_index].close()
+        self._backends[shard_index] = ShardBackend(
+            self._config, shard_index, self.shard_count
+        )
+        self._restarts[shard_index] += 1
+
+    def restart_count(self, shard_index: int) -> int:
+        return self._restarts[shard_index]
 
     def call(self, shard_index: int, method: str, *args) -> Any:
         self._ensure_open()

@@ -214,13 +214,20 @@ class FaultInjector:
         ]
         self._counts: Dict[str, int] = {}
 
-    def fire(self, method: str) -> None:
+    def fire(self, method: str, on_crash=None) -> None:
         """Trigger any rule matching this (Nth) call of ``method``.
 
         ``crash`` never returns; ``hang``/``delay`` sleep and return so
         the call proceeds (for a hang, into a parent that has long
         since timed out); ``error`` raises — the worker loop relays it
         like any backend exception.
+
+        ``on_crash`` overrides what a ``crash`` rule does: process
+        workers die outright (``os._exit``), while a tcp worker passes
+        a callback that aborts only the serving session — modeling a
+        platform supervisor that restarts the worker on the same
+        address while the listener survives.  The callback must not
+        return; if it does, the process exit runs anyway.
         """
         if not self._rules:
             return
@@ -230,6 +237,8 @@ class FaultInjector:
             if rule.method != method or rule.nth != count:
                 continue
             if rule.kind == "crash":
+                if on_crash is not None:
+                    on_crash()
                 os._exit(CRASH_EXIT_CODE)
             if rule.kind == "hang":
                 time.sleep(rule.seconds if rule.seconds is not None else HANG_SECONDS)

@@ -29,6 +29,25 @@ bit-identical to a single engine's.
 Every shard response carries the shard's engine epoch; the router
 checks it against the update count it routed there, so lost updates or
 out-of-band writes fail loudly instead of merging stale state.
+
+Two further concerns live here because they are inherently global:
+
+* **Versioned routing.**  Every routed data-plane call is stamped with
+  the router's ownership-table version; workers reject mismatches with
+  :class:`repro.errors.StaleOwnershipError`.  :meth:`rebalance`
+  migrates one ownership block online: transfer the block's influence
+  set to the destination under the current version, broadcast the new
+  table to every shard, then flip the router's own copy — from the
+  caller's perspective one atomic ownership flip.
+* **A persistent boundary-witness cache.**  The exact witness test for
+  a cross-shard cell pair depends only on the two cells' frontier core
+  sets, and a cell's core set can change only under a mutation within
+  the grid's closeness reach of it.  The router therefore keeps witness
+  outcomes across query barriers and invalidates a pair only when a
+  mutation dirties a cell within reach of it — repeated ``Q = P``
+  snapshots over a quiet boundary pay for each witness once (the same
+  dirty-cell discipline the per-shard fragment cache applies to
+  membership fragments, lifted to the merge layer).
 """
 
 from __future__ import annotations
@@ -45,7 +64,7 @@ from repro.core.framework import (
     canonical_cgroup_result,
 )
 from repro.core.grid import Cell, Grid
-from repro.errors import ReproError, UnknownPointError
+from repro.errors import ConfigError, ReproError, UnknownPointError
 from repro.geometry.points import Point
 from repro.kernels import any_within, as_point_array, ball_counts, bucket_by_cell
 from repro.shard.topology import ShardTopology
@@ -81,6 +100,15 @@ class ShardRouter:
         ]
         #: Updates routed to each shard — what its engine epoch must read.
         self._routed: List[int] = [0] * self.shard_count
+        # Boundary-witness cache (see module docstring).  Shares the
+        # fragment-cache knob: both are epoch-aware caches trading a
+        # little bookkeeping for skipped exact geometry.
+        self._cache_enabled = config.resolved_fragment_cache
+        self._witness_cache: Dict[Tuple[Cell, Cell], bool] = {}
+        self._dirty_cells: Set[Cell] = set()
+        self.merge_cache_hits = 0
+        self.merge_cache_misses = 0
+        self.merge_cache_invalidations = 0
 
     # ------------------------------------------------------------------
     # Registry
@@ -129,6 +157,8 @@ class ShardRouter:
             [] for _ in range(self.shard_count)
         ]
         for cell, idxs in bucket_by_cell(arr, self._grid.side):
+            if self._cache_enabled:
+                self._dirty_cells.add(cell)
             for shard in replica_shards(cell):
                 member_idxs[shard].append(idxs)
         orders: List[Optional[np.ndarray]] = [None] * self.shard_count
@@ -146,7 +176,7 @@ class ShardRouter:
             # python tuples.
             order = np.sort(np.concatenate(parts))
             orders[shard] = order
-            calls.append(("ingest", (arr[order],)))
+            calls.append(("ingest", (arr[order], self.topology.version)))
         try:
             local_ids = self.executor.map(calls)
         finally:
@@ -194,7 +224,10 @@ class ShardRouter:
         replica_shards = self.topology.replica_shards
         cell_of = self._grid.cell_of
         for pid in pid_list:
-            for shard in replica_shards(cell_of(self._points[pid])):
+            cell = cell_of(self._points[pid])
+            if self._cache_enabled:
+                self._dirty_cells.add(cell)
+            for shard in replica_shards(cell):
                 per_shard[shard].append(pid)
         calls = []
         for shard, shard_pids in enumerate(per_shard):
@@ -207,7 +240,7 @@ class ShardRouter:
                 dtype=np.int64,
                 count=len(shard_pids),
             )
-            calls.append(("delete_many", (local,)))
+            calls.append(("delete_many", (local, self.topology.version)))
         try:
             self.executor.map(calls)
         finally:
@@ -258,6 +291,129 @@ class ShardRouter:
         """Per-shard engine stats (halo replicas included in counts)."""
         return self.executor.map([("stats", ())] * self.shard_count)
 
+    # ------------------------------------------------------------------
+    # Ownership (versioned table + online rebalance)
+    # ------------------------------------------------------------------
+
+    @property
+    def ownership_version(self) -> int:
+        """The router's current ownership-table version."""
+        return self.topology.version
+
+    def rebalance(self, block: Cell, dest: int) -> int:
+        """Migrate one ownership block to ``dest`` online; new version.
+
+        Three steps, each leaving the deployment consistent:
+
+        1. **Transfer.**  Every live point inside the closeness-reach
+           box around the block (the block's full influence set — what
+           ``dest`` needs to compute exact core status for the block's
+           cells) that ``dest`` does not already hold is bulk-ingested
+           there, stamped with the *current* version like any routed
+           update.
+        2. **Broadcast.**  The new table (version + overrides) is
+           installed on every shard via the journaled ``set_ownership``
+           call, so a recovered worker replays the flip in order with
+           the version-stamped updates around it.
+        3. **Flip.**  The router installs the same table locally; every
+           subsequent call is stamped with the new version.
+
+        The old owner keeps its now-foreign copies: stale halo data is
+        advisory by construction (the trust predicate follows the new
+        table immediately), so it can never leak into owned-core
+        decisions or the boundary merge.  Witness cache entries are
+        dropped wholesale — the flip redraws the boundary itself.
+        """
+        block_t = tuple(int(b) for b in block)
+        if len(block_t) != self.config.dim:
+            raise ConfigError(
+                f"block {block!r} has {len(block_t)} axes; deployment is "
+                f"{self.config.dim}-dimensional"
+            )
+        if not (0 <= dest < self.shard_count):
+            raise ConfigError(
+                f"cannot rebalance block {block_t!r} to shard {dest}: "
+                f"deployment has {self.shard_count} shards"
+            )
+        reach, b = self.topology.reach, self.topology.block
+        lo = [blk * b - reach for blk in block_t]
+        hi = [(blk + 1) * b - 1 + reach for blk in block_t]
+        g2l = self._global_to_local[dest]
+        cell_of = self._grid.cell_of
+        transfer = sorted(
+            pid
+            for pid, pt in self._points.items()
+            if pid not in g2l
+            and all(
+                low <= c <= high
+                for low, c, high in zip(lo, cell_of(pt), hi)
+            )
+        )
+        if transfer:
+            arr = np.array(
+                [self._points[pid] for pid in transfer], dtype=np.float64
+            )
+            local_ids = self.executor.call(
+                dest, "ingest", arr, self.topology.version
+            )
+            l2g = self._local_to_global[dest]
+            for pid, local_pid in zip(transfer, local_ids.tolist()):
+                g2l[pid] = local_pid
+                l2g[local_pid] = pid
+            self._routed[dest] += len(transfer)
+        overrides = self.topology.ownership_overrides
+        overrides[block_t] = dest
+        new_version = self.topology.version + 1
+        self.executor.map(
+            [("set_ownership", (new_version, overrides))] * self.shard_count
+        )
+        self.topology.apply_ownership(new_version, overrides)
+        self._witness_cache.clear()
+        self._dirty_cells.clear()
+        return new_version
+
+    def _invalidate_witnesses(self) -> None:
+        """Drop cached witnesses within reach of any mutated cell.
+
+        A pair's witness depends only on the two cells' frontier core
+        sets, and a cell's core set can change only under a mutation
+        within the closeness reach of it — so a cached pair survives
+        exactly when both its cells are farther than ``reach`` (in
+        Chebyshev distance) from every dirty cell.  When the dirty set
+        times the cache would make the scan itself expensive, the cache
+        is simply rebuilt from scratch.
+        """
+        dirty, cache = self._dirty_cells, self._witness_cache
+        if cache:
+            if len(dirty) * len(cache) > 32768:
+                self.merge_cache_invalidations += len(cache)
+                cache.clear()
+            else:
+                reach = self.topology.reach
+                touched: Dict[Cell, bool] = {}
+
+                def near_dirty(cell: Cell) -> bool:
+                    hit = touched.get(cell)
+                    if hit is None:
+                        hit = touched[cell] = any(
+                            max(
+                                abs(c - d) for c, d in zip(cell, dirty_cell)
+                            )
+                            <= reach
+                            for dirty_cell in dirty
+                        )
+                    return hit
+
+                stale = [
+                    pair
+                    for pair in cache
+                    if near_dirty(pair[0]) or near_dirty(pair[1])
+                ]
+                for pair in stale:
+                    del cache[pair]
+                self.merge_cache_invalidations += len(stale)
+        dirty.clear()
+
     def _merge(self, query: List[int]) -> CGroupByResult:
         """One overlapped fan-out plus the boundary merge (see module doc)."""
         per_shard: List[Optional[List[int]]] = [None] * self.shard_count
@@ -277,6 +433,7 @@ class ShardRouter:
                         None
                         if locals_ is None
                         else np.asarray(locals_, dtype=np.int64),
+                        self.topology.version,
                     ),
                 )
                 for locals_ in per_shard
@@ -311,17 +468,31 @@ class ShardRouter:
                 if b in core_cells
             }
         )
+        if self._cache_enabled and self._dirty_cells:
+            self._invalidate_witnesses()
         for a, b in cross_pairs:
             if uf.connected(a, b):
                 continue  # an extra witness cannot change any component
-            coords_a, coords_b = frontier.get(a), frontier.get(b)
-            if coords_a is None or coords_b is None:
-                raise ReproError(
-                    f"boundary merge is missing frontier core coordinates "
-                    f"for cell pair {a} / {b} — shard fragments are "
-                    f"inconsistent"
+            witness = (
+                self._witness_cache.get((a, b)) if self._cache_enabled else None
+            )
+            if witness is None:
+                coords_a, coords_b = frontier.get(a), frontier.get(b)
+                if coords_a is None or coords_b is None:
+                    raise ReproError(
+                        f"boundary merge is missing frontier core "
+                        f"coordinates for cell pair {a} / {b} — shard "
+                        f"fragments are inconsistent"
+                    )
+                witness = bool(
+                    any_within(coords_a, coords_b, self._sq_relaxed)
                 )
-            if any_within(coords_a, coords_b, self._sq_relaxed):
+                if self._cache_enabled:
+                    self._witness_cache[(a, b)] = witness
+                    self.merge_cache_misses += 1
+            else:
+                self.merge_cache_hits += 1
+            if witness:
                 uf.union(a, b)
 
         # --- fragments and probes -> groups over global components ------

@@ -37,25 +37,40 @@ Relayed *backend* exceptions (a bad batch, an injected ``error``
 fault) are not failures of the worker and propagate untouched — the
 worker survived them, nothing needs rebuilding.
 
-The journal holds references to the routed argument arrays, so its
-memory footprint grows with update history; snapshot-based truncation
-is the ROADMAP follow-on, alongside reusing this supervision layer for
-the planned RPC executor (the journal/replay contract is
-transport-agnostic).
+* **Truncation.**  The journal holds references to the routed argument
+  arrays, so left unchecked its memory footprint would grow linearly
+  with update history — a leak in any long-lived deployment.  Instead,
+  after every ``shard_journal_snapshot_every`` journaled mutations on
+  a shard the supervisor drains that worker's state through
+  ``export_state`` (points + local ids + epoch + ownership table,
+  deep-copied out of the transport's buffers), stores it as the
+  shard's *snapshot*, and truncates the journal.  The drain is
+  deferred to the shard's *next* dispatch: right after a call the
+  caller still holds that reply's transport views, and an immediate
+  ``export_state`` on the same channel would overwrite them in place.  Recovery then seeds
+  the fresh worker with ``restore_state`` and replays only the journal
+  suffix.  At ``rho = 0`` the clustering is a pure function of the
+  live point set and local ids survive the restore via the backend's
+  id indirection, so snapshot-plus-suffix recovery stays bit-identical
+  — the chaos suite proves it.  ``journal_size`` is therefore bounded
+  by the knob, regardless of history length.
+
+The journal/replay contract is executor-agnostic: the supervisor
+drives :class:`repro.shard.executors.ProcessShardExecutor` (respawn a
+local worker process) and :class:`repro.shard.rpc.TcpShardExecutor`
+(reconnect a remote worker's session) identically.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.api.config import EngineConfig
 from repro.errors import ReproError
 from repro.shard.backend import MUTATING_CALLS
-from repro.shard.executors import (
-    RECOVERABLE_FAILURES,
-    Call,
-    ProcessShardExecutor,
-)
+from repro.shard.executors import RECOVERABLE_FAILURES, Call
 
 
 class ShardSupervisor:
@@ -67,15 +82,18 @@ class ShardSupervisor:
     happens when a worker dies or hangs.
     """
 
-    def __init__(
-        self, executor: ProcessShardExecutor, config: EngineConfig
-    ) -> None:
+    def __init__(self, executor, config: EngineConfig) -> None:
         self._executor = executor
         self.shard_count = executor.shard_count
         self.max_restarts = config.resolved_shard_max_restarts
+        self.snapshot_every = config.resolved_shard_journal_snapshot_every
         self._journal: List[List[Tuple[str, Tuple[Any, ...]]]] = [
             [] for _ in range(executor.shard_count)
         ]
+        self._snapshots: List[Optional[Dict[str, Any]]] = [
+            None
+        ] * executor.shard_count
+        self._snapshot_due = [False] * executor.shard_count
         self._restarts = [0] * executor.shard_count
 
     # ------------------------------------------------------------------
@@ -83,7 +101,7 @@ class ShardSupervisor:
     # ------------------------------------------------------------------
 
     @property
-    def executor(self) -> ProcessShardExecutor:
+    def executor(self):
         """The supervised executor (escape hatch for tests/tools)."""
         return self._executor
 
@@ -92,8 +110,9 @@ class ShardSupervisor:
         return self._executor.transport
 
     @property
-    def start_method(self) -> str:
-        return self._executor.start_method
+    def start_method(self) -> Optional[str]:
+        # The tcp executor never spawns processes, so it has none.
+        return getattr(self._executor, "start_method", None)
 
     @property
     def restarts(self) -> int:
@@ -105,8 +124,23 @@ class ShardSupervisor:
         return tuple(self._restarts)
 
     def journal_size(self, shard_index: int) -> int:
-        """Journaled mutating calls held for one shard (test surface)."""
+        """Journaled mutating calls held for one shard (test surface).
+
+        Bounded by ``snapshot_every``: reaching it schedules a
+        snapshot that truncates the journal back to empty at the
+        shard's next dispatch (deferred so the caller's live reply
+        views are never clobbered).
+        """
         return len(self._journal[shard_index])
+
+    def has_snapshot(self, shard_index: int) -> bool:
+        """Whether truncation has produced a snapshot for this shard."""
+        return self._snapshots[shard_index] is not None
+
+    def snapshot_epoch(self, shard_index: int) -> Optional[int]:
+        """The epoch the shard's snapshot was captured at (test surface)."""
+        snapshot = self._snapshots[shard_index]
+        return None if snapshot is None else int(snapshot["epoch"])
 
     # ------------------------------------------------------------------
     # Recovery core
@@ -131,6 +165,22 @@ class ShardSupervisor:
             self._restarts[shard_index] += 1
             try:
                 self._executor.restart_worker(shard_index)
+                snapshot = self._snapshots[shard_index]
+                if snapshot is not None:
+                    # Seed the empty backend with the truncation
+                    # snapshot, then replay only the journal suffix.
+                    # restore_state is issued directly (never
+                    # journaled): it is the base the journal sits on.
+                    self._executor.call(
+                        shard_index,
+                        "restore_state",
+                        snapshot["points"],
+                        snapshot["local_ids"],
+                        snapshot["next_local"],
+                        snapshot["epoch"],
+                        snapshot["version"],
+                        snapshot["overrides"],
+                    )
                 for method, args in self._journal[shard_index]:
                     self._executor.call(shard_index, method, *args)
                 return
@@ -159,12 +209,42 @@ class ShardSupervisor:
     def _record(self, shard_index: int, call: Tuple[str, Tuple]) -> None:
         if call[0] in MUTATING_CALLS:
             self._journal[shard_index].append((call[0], call[1]))
+            if len(self._journal[shard_index]) >= self.snapshot_every:
+                # Do NOT snapshot here: the caller still holds the
+                # reply views of the call just recorded, and issuing
+                # export_state on the same channel would overwrite
+                # them in place.  Defer to the next dispatch, when the
+                # transport contract says those views are dead.
+                self._snapshot_due[shard_index] = True
+
+    def _flush_due_snapshot(self, shard_index: int) -> None:
+        if self._snapshot_due[shard_index]:
+            self._snapshot_due[shard_index] = False
+            self._take_snapshot(shard_index)
+
+    def _take_snapshot(self, shard_index: int) -> None:
+        """Drain one shard's state and truncate its journal.
+
+        The exported arrays can be transport views (shm pages, receive
+        buffers) valid only until the next call on that shard's
+        channel, so everything is deep-copied into parent-owned memory
+        before the journal lets go of the history it summarizes.
+        """
+        state = self._attempt(shard_index, "export_state", ())
+        self._snapshots[shard_index] = {
+            key: np.array(value, copy=True)
+            if isinstance(value, np.ndarray)
+            else (dict(value) if isinstance(value, dict) else value)
+            for key, value in state.items()
+        }
+        self._journal[shard_index] = []
 
     # ------------------------------------------------------------------
     # The executor surface
     # ------------------------------------------------------------------
 
     def call(self, shard_index: int, method: str, *args) -> Any:
+        self._flush_due_snapshot(shard_index)
         result = self._attempt(shard_index, method, args)
         self._record(shard_index, (method, args))
         return result
@@ -178,6 +258,9 @@ class ShardSupervisor:
         budget (or a relayed backend exception) surfaces — first in
         shard order, matching the executor's own ``map``.
         """
+        for index, call in enumerate(calls):
+            if call is not None:
+                self._flush_due_snapshot(index)
         outcomes = self._executor.map_scatter(calls)
         failure = None
         for index, call in enumerate(calls):

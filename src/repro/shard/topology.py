@@ -19,15 +19,26 @@ cells see their full neighborhoods, making owned core status — and the
 emptiness structures over owned core sets — authoritative; everything a
 shard knows about *foreign* (halo) cells is advisory and is re-decided
 at the router's boundary merge.
+
+On top of the pure hash sits a **versioned ownership table**: a sparse
+map of per-block overrides plus a monotonically increasing version.
+:meth:`assign_block` migrates one block to an explicit shard and bumps
+the version; the router stamps the version into every routed
+data-plane call and workers reject mismatches with
+:class:`repro.errors.StaleOwnershipError`, so a live ``rebalance`` is
+an atomic flip — transfer the block's influence set, then broadcast
+the new table — with drift caught at the call boundary instead of
+corrupting a merge.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
 from repro.core.grid import Cell, Grid
+from repro.errors import ConfigError, StaleOwnershipError
 from repro.kernels import pack_cell_keys
 
 _SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
@@ -85,6 +96,12 @@ class ShardTopology:
                 break
             gap += 1
         self.reach = gap + 1
+        # Versioned ownership table: the hash decides every block not
+        # explicitly overridden; rebalancing installs overrides and
+        # bumps the version.  Version 0 with no overrides is the pure
+        # hash every process derives independently.
+        self.version = 0
+        self._overrides: Dict[Cell, int] = {}
         self._owner_cache: Dict[Cell, int] = {}
         self._block_owner_cache: Dict[Cell, int] = {}
         self._replica_cache: Dict[Cell, Tuple[int, ...]] = {}
@@ -94,7 +111,77 @@ class ShardTopology:
     # ------------------------------------------------------------------
 
     def _owners_of_blocks(self, blocks: np.ndarray) -> np.ndarray:
-        return (_hash_rows(blocks) % np.uint64(self.shard_count)).astype(np.int64)
+        owners = (
+            _hash_rows(blocks) % np.uint64(self.shard_count)
+        ).astype(np.int64)
+        for block, shard in self._overrides.items():
+            mask = np.all(
+                blocks == np.asarray(block, dtype=np.int64), axis=1
+            )
+            if mask.any():
+                owners[mask] = shard
+        return owners
+
+    @property
+    def ownership_overrides(self) -> Dict[Cell, int]:
+        """A copy of the table's explicit block→shard overrides."""
+        return dict(self._overrides)
+
+    def check_version(self, version) -> None:
+        """Reject a routed call stamped with a non-current table version."""
+        if version is not None and int(version) != self.version:
+            raise StaleOwnershipError(
+                f"ownership table is at version {self.version} but the "
+                f"call was routed under version {int(version)}; the "
+                f"router and this shard disagree about block ownership"
+            )
+
+    def assign_block(self, block: Cell, shard_index: int) -> int:
+        """Migrate one block to an explicit owner; returns the new version.
+
+        Pure table surgery — transferring the block's points is the
+        router's job (see ``ShardRouter.rebalance``).  Assigning a
+        block back to its hash owner still records an override: the
+        version must move forward so every party re-syncs.
+        """
+        if not (0 <= shard_index < self.shard_count):
+            raise ConfigError(
+                f"cannot assign block {block!r} to shard {shard_index}: "
+                f"deployment has {self.shard_count} shards"
+            )
+        if len(block) != self.dim:
+            raise ConfigError(
+                f"block {block!r} has {len(block)} axes; topology is "
+                f"{self.dim}-dimensional"
+            )
+        overrides = dict(self._overrides)
+        overrides[tuple(int(b) for b in block)] = int(shard_index)
+        self.apply_ownership(self.version + 1, overrides)
+        return self.version
+
+    def apply_ownership(
+        self, version: int, overrides: Mapping[Cell, int]
+    ) -> None:
+        """Install a complete ownership table (worker-side flip).
+
+        Replaces the override map wholesale and drops every derived
+        cache; the version may only move forward (equal is a no-op
+        replay of the current table, smaller is a stale flip).
+        """
+        version = int(version)
+        if version < self.version:
+            raise StaleOwnershipError(
+                f"refusing to move the ownership table backwards: at "
+                f"version {self.version}, asked to install {version}"
+            )
+        self._overrides = {
+            tuple(int(b) for b in block): int(shard)
+            for block, shard in overrides.items()
+        }
+        self.version = version
+        self._owner_cache.clear()
+        self._block_owner_cache.clear()
+        self._replica_cache.clear()
 
     def owner_of_block(self, block: Cell) -> int:
         owner = self._block_owner_cache.get(block)

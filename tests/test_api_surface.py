@@ -89,6 +89,7 @@ EXPECTED_ERRORS_ALL = [
     "InvalidQueryError",
     "UnsupportedOperationError",
     "ShardTimeoutError",
+    "StaleOwnershipError",
 ]
 
 EXPECTED_SERVICE_ALL = [

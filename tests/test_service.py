@@ -786,6 +786,50 @@ class TestClientAndLifecycle:
         run_async(scenario())
         engine.close()
 
+    def test_server_killed_mid_request_fails_pending_futures(self):
+        """The response pump under a hard server death: every pending
+        future must raise ServiceError (503 connection_lost), never
+        hang.  The stub server reads one request and drops the
+        connection without replying — what a killed server process
+        looks like from the client's side of the socket."""
+
+        async def scenario():
+            died = asyncio.Event()
+
+            async def killed_mid_request(reader, writer):
+                await reader.readline()  # a request is in flight...
+                writer.transport.abort()  # ...and the server dies on it
+                died.set()
+
+            server = await asyncio.start_server(
+                killed_mid_request, "127.0.0.1", 0
+            )
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                client = await ServiceClient.connect(host, port)
+                futures = [
+                    client.submit("ping", payload=i) for i in range(5)
+                ]
+                await died.wait()
+                results = await asyncio.gather(
+                    *futures, return_exceptions=True
+                )
+                assert len(results) == 5
+                for failure in results:
+                    assert isinstance(failure, ServiceError)
+                    assert failure.code == protocol.UNAVAILABLE
+                    assert failure.error_type == "connection_lost"
+                # The client knows the connection is gone: later
+                # submissions fail fast instead of queueing forever.
+                with pytest.raises(ReproError, match="connection lost"):
+                    client.submit("ping")
+                await client.aclose()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run_async(scenario())
+
     def test_client_submit_after_close_raises(self):
         engine = open_engine()
 

@@ -223,6 +223,84 @@ def test_clustered_regime_block_sizes(dim, block, shard_count):
     assert got_snap.noise == want_snap.noise
 
 
+@pytest.mark.parametrize("tcp_shards", (2, 4))
+def test_tcp_executor_differential(tcp_shards):
+    """The distributed executor clears the same bar: real shard-worker
+    subprocesses behind sockets, merged bit-identically at rho=0."""
+    from repro.shard.rpc import local_workers
+
+    workload = _workload(2, insert_only=False)
+    with local_workers(tcp_shards) as addresses:
+        engine = api.open(
+            algorithm="full",
+            eps=eps_for(2),
+            minpts=MINPTS,
+            rho=0.0,
+            dim=2,
+            shards=tcp_shards,
+            shard_block=1,
+            shard_executor="tcp",
+            shard_workers=addresses,
+        )
+        try:
+            got = _replay(engine, workload)
+            want_queries, want_snap, _ = _reference("full", 2, 0.0, workload)
+            _assert_identical_runs(
+                f"tcp executor shards={tcp_shards}",
+                got,
+                (want_queries, want_snap),
+            )
+        finally:
+            engine.close()
+
+
+def test_rebalance_mid_workload_differential(shard_count):
+    """An online ownership migration in the middle of a mixed workload
+    changes nothing observable: every query before and after the flip,
+    and the final snapshot, stay bit-identical to the single engine."""
+    if shard_count == 1:
+        pytest.skip("rebalancing needs somewhere to move a block")
+    workload = _workload(2, insert_only=False)
+    engine = _open_sharded("full", 2, 0.0, shard_count)
+    reference = _open_single("full", 2, 0.0)
+    results, want_results = [], []
+    pid_of: Dict[int, int] = {}
+    ref_of: Dict[int, int] = {}
+    steps = list(workload.batched(BATCH))
+    flip_at = len(steps) // 2
+    for step, (kind, arg) in enumerate(steps):
+        if step == flip_at:
+            router = engine.raw
+            anchor = next(iter(router.ids()))
+            block = router.topology.block_of(
+                router._grid.cell_of(router.point(anchor))
+            )
+            owner = router.topology.owner_of_block(block)
+            version = engine.rebalance(block, (owner + 1) % shard_count)
+            assert version == engine.ownership_version >= 1
+        if kind == "insert_many":
+            points = [workload.points[i] for i in arg]
+            pid_of.update(zip(arg, engine.insert_many(points)))
+            ref_of.update(zip(arg, reference.insert_many(points)))
+        elif kind == "delete_many":
+            engine.delete_many([pid_of.pop(i) for i in arg])
+            reference.delete_many([ref_of.pop(i) for i in arg])
+        else:
+            results.append(engine.cgroup_by_many([pid_of[i] for i in arg]).result)
+            want_results.append(
+                reference.cgroup_by_many([ref_of[i] for i in arg]).result
+            )
+    assert results, "workload produced no queries"
+    for got, want in zip(results, want_results):
+        assert got.groups == want.groups
+        assert got.noise == want.noise
+    got_snap, want_snap = engine.snapshot(), reference.snapshot()
+    assert sorted(map(sorted, got_snap.clusters)) == sorted(
+        map(sorted, want_snap.clusters)
+    )
+    assert sorted(got_snap.noise) == sorted(want_snap.noise)
+
+
 @pytest.mark.parametrize("transport", ("pickle", "shm"))
 def test_process_executor_differential(transport):
     """Both worker-process transports merge bit-identically too."""
